@@ -1,0 +1,25 @@
+# Convenience targets for the CLADO reproduction.
+
+.PHONY: install test bench pretrain smoke reports clean-cache
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Fast end-to-end pass (small sensitivity sets, few replicates).
+smoke:
+	REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only
+
+pretrain:
+	python -m repro pretrain
+
+reports:
+	@ls -1 reports/ 2>/dev/null || echo "run 'make bench' first"
+
+clean-cache:
+	rm -rf .cache reports

@@ -1,0 +1,35 @@
+"""Fig. 4: MPQ performance vs sensitivity-set sample size.
+
+Paper reference: across 24 random sensitivity sets per size, CLADO's
+median stays on top (its lower quartile is almost always above the other
+algorithms' upper quartiles once the set is big enough).  The reproduction
+runs several independent sets per size and checks the median ordering at
+the largest size.
+"""
+
+import pytest
+
+from repro.experiments import format_fig4, run_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_sample_size_dependence(benchmark, ctx, report):
+    study = benchmark.pedantic(
+        lambda: run_fig4(ctx, "vit_s", avg_bits=3.0), rounds=1, iterations=1
+    )
+    report("fig4_sample_size", format_fig4(study))
+    largest = study.set_sizes[-1]
+    medians = {
+        algo: study.quartiles(algo, largest)[1] for algo in study.accuracy
+    }
+    # CLADO's median at the largest sample size is at least HAWQ's; the
+    # tolerance against MPQCO is wider on the ViT analogue (see the fig2
+    # bench note about the residual first-order term).
+    if "hawq" in medians:
+        assert medians["clado"] >= medians["hawq"] - 3.0, medians
+    for algo, med in medians.items():
+        assert medians["clado"] >= med - 10.0, (algo, medians)
+    # Every (algo, size) cell has the right replicate count.
+    for algo, by_size in study.accuracy.items():
+        for size, values in by_size.items():
+            assert len(values) == study.replicates

@@ -1,0 +1,53 @@
+"""Figs. 9-12 (Appendix B): bit-width assignments for every model family.
+
+Prints per-layer assignment maps for the ResNet-34/50, MobileNetV3 and ViT
+analogues at two budgets each, alongside the layer-index tables (our
+Appendix A analogue).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_assignments, run_assignments
+from repro.experiments.config import effective_avg_bits, model_quant_config
+from repro.models import quantizable_layers
+
+_CASES = [
+    ("fig9", "resnet_s34", (3.0, 4.0)),
+    ("fig10", "resnet_s50", (3.0, 5.0)),
+    ("fig11", "mobilenet_s", (5.0, 6.0)),
+    ("fig12", "vit_s", (3.0, 4.0)),
+]
+
+
+@pytest.mark.benchmark(group="fig9_12")
+@pytest.mark.parametrize("fig,model_name,budgets", _CASES)
+def test_appendix_assignments(benchmark, ctx, report, fig, model_name, budgets):
+    def run():
+        return {
+            avg: run_assignments(ctx, model_name, avg_bits=avg) for avg in budgets
+        }
+
+    per_budget = benchmark.pedantic(run, rounds=1, iterations=1)
+    blocks = []
+    for avg, assignments in per_budget.items():
+        blocks.append(
+            format_assignments(ctx, model_name, assignments, avg_bits=avg)
+        )
+    report(f"{fig}_assignments_{model_name}", "\n\n".join(blocks))
+
+    layers = quantizable_layers(ctx.model(model_name), model_name)
+    sizes = np.array([q.num_params for q in layers])
+    config = model_quant_config(model_name)
+    for avg, assignments in per_budget.items():
+        # Budgets are remapped into the model's candidate range by the
+        # comparison driver; assert against the same effective budget.
+        budget = ctx.budget(model_name, effective_avg_bits(config, avg))
+        for algo, bits in assignments.items():
+            assert int((sizes * np.array(bits)).sum()) <= budget, (algo, avg)
+    # Larger budgets must allocate at least as many total weight-bits
+    # for the CLADO assignment.
+    small, large = sorted(per_budget)
+    bits_small = np.array(per_budget[small]["clado"])
+    bits_large = np.array(per_budget[large]["clado"])
+    assert (sizes * bits_large).sum() >= (sizes * bits_small).sum()

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+cached under ``.cache/`` (sensitivity matrices + per-experiment JSON), so
+the first run pays the measurement cost and subsequent runs are fast.
+Formatted reports are also written to ``reports/`` for inspection.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale knobs: set ``REPRO_SCALE=smoke`` for a fast pass, ``paper`` for the
+full protocol (see repro.experiments.config).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentContext, get_scale
+
+REPORT_DIR = Path(__file__).resolve().parent.parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(get_scale())
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable writing a formatted report to reports/<name>.txt and stdout."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+
+    return write

@@ -1,0 +1,77 @@
+"""Compare IQP solvers on a *measured* sensitivity matrix (§7, Fig. 7).
+
+The paper solves Eq. 11 with Gurobi and reports (a) solutions in seconds
+when the matrix is PSD-projected and (b) non-convergence without the
+projection.  This library replaces Gurobi with exact branch-and-bound
+(convex-QP bounds), a knapsack DP for separable objectives, and a greedy
+heuristic.  This script runs them all on the ViT analogue's measured
+matrix and cross-checks objective values, then shows the PSD-ablation
+solver behaviour.
+
+Run:  python examples/solver_showdown.py
+"""
+
+import numpy as np
+
+from repro.core import CLADO, psd_project
+from repro.data import make_dataset, sensitivity_set
+from repro.experiments import model_quant_config
+from repro.models import get_pretrained
+from repro.solvers import (
+    MPQProblem,
+    solve_branch_and_bound,
+    solve_dp,
+    solve_greedy,
+)
+
+
+def main(model_name: str = "vit_s") -> None:
+    dataset = make_dataset()
+    model, _ = get_pretrained(model_name, dataset, verbose=True)
+    config = model_quant_config(model_name)
+    clado = CLADO(model, model_name, config)
+    x, y = sensitivity_set(dataset, size=48)
+    print("measuring sensitivities...")
+    clado.prepare(x, y)
+    sizes = clado.layer_sizes()
+    budget = int(sizes.sum() * 3.5)
+
+    problem = MPQProblem(clado.matrix, sizes, config.bits, budget)
+    print(f"\nIQP: {problem.num_vars} binary vars, {problem.num_layers} layers, "
+          f"budget = 3.5-bit average")
+
+    bb = solve_branch_and_bound(problem, time_limit=30)
+    print(f"branch&bound : obj={bb.objective:.6f} nodes={bb.nodes} "
+          f"time={bb.wall_time:.2f}s certified={bb.optimal}")
+
+    greedy = solve_greedy(problem)
+    print(f"greedy+LS    : obj={greedy.objective:.6f} "
+          f"time={greedy.wall_time:.3f}s "
+          f"(+{100 * (greedy.objective - bb.objective) / max(abs(bb.objective), 1e-12):.1f}% vs B&B)")
+
+    diag_problem = MPQProblem(
+        np.diag(np.diag(clado.matrix)), sizes, config.bits, budget
+    )
+    dp = solve_dp(diag_problem)
+    print(f"knapsack DP  : obj={dp.objective:.6f} (diagonal objective) "
+          f"time={dp.wall_time:.3f}s exact={dp.optimal}")
+
+    # PSD ablation: solve on the raw (indefinite) matrix.
+    raw_sym = 0.5 * (clado.raw.matrix + clado.raw.matrix.T)
+    eigs = np.linalg.eigvalsh(raw_sym)
+    print(f"\nraw matrix eigen-range: [{eigs.min():.2e}, {eigs.max():.2e}]")
+    raw_problem = MPQProblem(raw_sym, sizes, config.bits, budget)
+    raw_bb = solve_branch_and_bound(raw_problem, time_limit=10, max_nodes=500)
+    print(f"no-PSD solve : certified={raw_bb.optimal} nodes={raw_bb.nodes} "
+          f"time={raw_bb.wall_time:.1f}s  "
+          "(mirrors the paper: without PSD the solver cannot certify)")
+    projected = psd_project(clado.raw.matrix)
+    psd_bb = solve_branch_and_bound(
+        MPQProblem(projected, sizes, config.bits, budget), time_limit=30
+    )
+    print(f"PSD solve    : certified={psd_bb.optimal} nodes={psd_bb.nodes} "
+          f"time={psd_bb.wall_time:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

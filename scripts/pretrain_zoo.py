@@ -1,0 +1,15 @@
+"""Train and cache every zoo model (idempotent; cached models are skipped)."""
+import time
+from repro.data import make_dataset
+from repro.models import MODEL_REGISTRY, get_pretrained
+
+def main():
+    dataset = make_dataset()
+    for name in MODEL_REGISTRY:
+        t0 = time.time()
+        _, metrics = get_pretrained(name, dataset, verbose=True)
+        print(f"{name}: val_acc={metrics['val_acc']:.3f} "
+              f"val_loss={metrics['val_loss']:.3f} ({time.time()-t0:.0f}s)", flush=True)
+
+if __name__ == "__main__":
+    main()

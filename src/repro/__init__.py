@@ -1,0 +1,15 @@
+"""CLADO reproduction: cross-layer-dependency-aware mixed-precision quantization.
+
+Public API highlights
+---------------------
+- :mod:`repro.nn` — numpy NN framework (layers, blocks, losses, optimizers).
+- :mod:`repro.models` — scaled model zoo (ResNet/MobileNet/RegNet/ViT styles).
+- :mod:`repro.data` — deterministic synthetic ImageNet stand-in.
+- :mod:`repro.quant` — quantizers, calibration, mixed-precision application.
+- :mod:`repro.hessian` — HvP / Hutchinson / exact block Hessians.
+- :mod:`repro.solvers` — IQP branch-and-bound, knapsack DP, exhaustive, greedy.
+- :mod:`repro.core` — the CLADO algorithm and all baselines.
+- :mod:`repro.experiments` — drivers reproducing every paper table/figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``pretrain``            train-and-cache the full model zoo
+- ``models``              list registered models with layer-index maps
+- ``allocate``            run an MPQ algorithm on one model and budget
+- ``experiment <name>``   regenerate one paper table/figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_pretrain(args) -> int:
+    from .data import make_dataset
+    from .models import MODEL_REGISTRY, get_pretrained
+
+    dataset = make_dataset()
+    names = args.models or sorted(MODEL_REGISTRY)
+    for name in names:
+        _, metrics = get_pretrained(name, dataset, retrain=args.retrain, verbose=True)
+        print(f"{name}: val top-1 {100 * metrics['val_acc']:.2f}%")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from .models import MODEL_REGISTRY, build_model, layer_index_map
+
+    for name, entry in MODEL_REGISTRY.items():
+        model = build_model(name)
+        mapping = layer_index_map(model, name)
+        params = sum(p.size for p in model.parameters())
+        print(f"{name}  (paper analogue: {entry.paper_model})  "
+              f"{params} params, {len(mapping)} quantizable layers")
+        if args.verbose:
+            for idx in sorted(mapping):
+                print(f"  {idx:>3}  {mapping[idx]}")
+    return 0
+
+
+def _cmd_allocate(args) -> int:
+    from .core import evaluate_assignment, setup_activation_quant
+    from .data import make_dataset, sensitivity_set
+    from .experiments import model_quant_config
+    from .models import get_pretrained
+    from .quant import bops_table, bytes_to_mb, measure_macs
+
+    dataset = make_dataset()
+    model, _ = get_pretrained(args.model, dataset, verbose=True)
+    config = model_quant_config(args.model)
+    x_sens, y_sens = sensitivity_set(dataset, size=args.set_size)
+
+    from .experiments.runner import ExperimentContext
+
+    ctx = ExperimentContext()
+    algo = ctx.make_algorithm(args.algorithm, args.model, model=model, config=config)
+    setup_activation_quant(model, algo.layers, x_sens, bits=config.act_bits)
+    print(f"preparing {algo.name} sensitivities on {args.set_size} samples...")
+    algo.prepare(x_sens, y_sens)
+    print(f"  done in {algo.prepare_time:.1f}s")
+
+    sizes = algo.layer_sizes()
+    budget = int(sizes.sum() * args.avg_bits)
+    kwargs = {}
+    if args.bops_ratio is not None:
+        macs = measure_macs(model, algo.layers)
+        coeffs = bops_table(macs, config.bits, act_bits=config.act_bits)
+        lo, hi = coeffs[:, 0].sum(), coeffs[:, -1].sum()
+        bound = lo + args.bops_ratio * (hi - lo)
+        print(f"BOPs budget: {bound:.3e} ({args.bops_ratio:.0%} of range)")
+        from .solvers import MPQProblem, solve_branch_and_bound
+
+        problem = MPQProblem(
+            algo.matrix if hasattr(algo, "matrix") and algo.matrix is not None
+            else np.diag(np.concatenate(algo.costs)),
+            sizes,
+            config.bits,
+            budget,
+            extra_constraints=((coeffs, bound),),
+        )
+        result = solve_branch_and_bound(problem, time_limit=args.time_limit)
+        bits = problem.choice_bits(result.choice)
+    else:
+        assignment = algo.allocate(budget)
+        bits = assignment.bits
+
+    print(f"\nbudget {bytes_to_mb(budget / 8):.4f} MB "
+          f"({args.avg_bits}-bit average)")
+    for layer, b in zip(algo.layers, bits):
+        print(f"  {layer.name:<40} {int(b)} bits")
+
+    _, (x_val, y_val) = dataset.splits(1, 512)
+    loss, acc = evaluate_assignment(model, algo.table, bits, x_val, y_val)
+    print(f"\nvalidation top-1: {100 * acc:.2f}%  (loss {loss:.4f})")
+
+    if args.export:
+        from .quant import export_assignment, save_packed
+
+        packed = export_assignment(algo.layers, bits, scheme=config.scheme)
+        save_packed(args.export, packed)
+        total = sum(t.payload_bytes for t in packed.values())
+        print(f"packed weights written to {args.export} ({total} bytes payload)")
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": lambda ctx: _run_table1(ctx),
+    "table2": lambda ctx: _run_table2(ctx),
+    "fig1": lambda ctx: _run_fig1(ctx),
+    "fig2": lambda ctx: _run_fig2(ctx),
+    "fig3": lambda ctx: _run_fig3(ctx),
+    "fig4": lambda ctx: _run_fig4(ctx),
+    "fig5": lambda ctx: _run_fig5(ctx),
+    "fig6": lambda ctx: _run_fig6(ctx),
+    "fig7": lambda ctx: _run_fig7(ctx),
+    "runtime": lambda ctx: _run_runtime(ctx),
+}
+
+
+def _run_table1(ctx):
+    from .experiments import format_table1, run_table1
+
+    return format_table1(ctx, run_table1(ctx))
+
+
+def _run_table2(ctx):
+    from .experiments import format_table2, run_table2
+
+    return format_table2(run_table2(ctx))
+
+
+def _run_fig1(ctx):
+    from .experiments import format_fig1, run_fig1
+
+    return format_fig1(run_fig1(ctx, top_k=6))
+
+
+def _run_fig2(ctx):
+    from .experiments import format_pareto, run_pareto
+
+    return format_pareto(run_pareto(ctx))
+
+
+def _run_fig3(ctx):
+    from .experiments import format_fig3, run_fig3
+
+    return format_fig3(run_fig3(ctx))
+
+
+def _run_fig4(ctx):
+    from .experiments import format_fig4, run_fig4
+
+    return format_fig4(run_fig4(ctx))
+
+
+def _run_fig5(ctx):
+    from .experiments import format_assignments, run_assignments
+
+    assignments = run_assignments(ctx, "resnet_s50", avg_bits=4.0)
+    return format_assignments(ctx, "resnet_s50", assignments, avg_bits=4.0)
+
+
+def _run_fig6(ctx):
+    from .experiments import format_fig6, run_fig6
+
+    return format_fig6(run_fig6(ctx))
+
+
+def _run_fig7(ctx):
+    from .experiments import format_fig7, run_fig7
+
+    return format_fig7(run_fig7(ctx))
+
+
+def _run_runtime(ctx):
+    from .experiments import format_runtime, run_runtime
+
+    return format_runtime("resnet_s34", run_runtime(ctx, "resnet_s34"))
+
+
+def _cmd_experiment(args) -> int:
+    from .experiments import ExperimentContext, get_scale
+
+    ctx = ExperimentContext(get_scale(args.scale))
+    print(_EXPERIMENTS[args.name](ctx))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CLADO mixed-precision quantization (DAC 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pretrain", help="train and cache the model zoo")
+    p.add_argument("--models", nargs="*", help="subset of model names")
+    p.add_argument("--retrain", action="store_true")
+    p.set_defaults(func=_cmd_pretrain)
+
+    p = sub.add_parser("models", help="list registered models")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_models)
+
+    p = sub.add_parser("allocate", help="run MPQ on one model")
+    p.add_argument("--model", default="resnet_s34")
+    p.add_argument(
+        "--algorithm",
+        default="clado",
+        choices=["clado", "clado_star", "clado_block", "hawq", "mpqco"],
+    )
+    p.add_argument("--avg-bits", type=float, default=4.0)
+    p.add_argument("--set-size", type=int, default=64)
+    p.add_argument("--time-limit", type=float, default=20.0)
+    p.add_argument(
+        "--bops-ratio",
+        type=float,
+        default=None,
+        help="optional compute budget as a fraction of the BOPs range",
+    )
+    p.add_argument("--export", help="write packed integer weights to this .npz")
+    p.set_defaults(func=_cmd_allocate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(_EXPERIMENTS))
+    p.add_argument("--scale", default="", help="smoke | default | paper")
+    p.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""The CLADO algorithm, its baselines, and evaluation/QAT utilities."""
+
+from .baselines import HAWQ, MPQCO, upq_assignment
+from .clado import CLADO, MPQAlgorithm, MPQAssignment
+from .evaluate import (
+    evaluate_assignment,
+    remove_activation_quant,
+    setup_activation_quant,
+)
+from .psd import min_eigenvalue, psd_project, psd_violation
+from .qat import QATConfig, qat_finetune
+from .sensitivity import SensitivityEngine, SensitivityResult, block_id_from_name
+
+__all__ = [
+    "CLADO",
+    "MPQAlgorithm",
+    "MPQAssignment",
+    "HAWQ",
+    "MPQCO",
+    "upq_assignment",
+    "SensitivityEngine",
+    "SensitivityResult",
+    "block_id_from_name",
+    "psd_project",
+    "min_eigenvalue",
+    "psd_violation",
+    "evaluate_assignment",
+    "setup_activation_quant",
+    "remove_activation_quant",
+    "QATConfig",
+    "qat_finetune",
+]

@@ -1,0 +1,48 @@
+"""Evaluation of mixed-precision assignments on held-out data."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..models import evaluate_model
+from ..quant import QuantizedWeightTable, calibrate_activations
+
+__all__ = ["evaluate_assignment", "setup_activation_quant", "remove_activation_quant"]
+
+
+def setup_activation_quant(
+    model, layers: Sequence, calib_images: np.ndarray, bits: Optional[int] = 8
+) -> None:
+    """Calibrate and attach 8-bit activation fake-quant (paper §5.1).
+
+    Pass ``bits=None`` to remove activation quantization instead.
+    """
+    if bits is None:
+        remove_activation_quant(layers)
+        return
+    calibrate_activations(model, layers, calib_images, bits=bits)
+
+
+def remove_activation_quant(layers: Sequence) -> None:
+    for layer in layers:
+        layer.module.act_quant = None
+
+
+def evaluate_assignment(
+    model,
+    table: QuantizedWeightTable,
+    bits_per_layer: Sequence[int],
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int = 256,
+) -> Tuple[float, float]:
+    """Top-1 accuracy and loss of the model quantized per the assignment.
+
+    Weights are swapped in from the precomputed table and always restored;
+    whatever activation quantizers are attached to the layers stay active.
+    Returns ``(loss, accuracy)``.
+    """
+    with table.applied(list(map(int, bits_per_layer))):
+        return evaluate_model(model, images, labels, batch_size=batch_size)

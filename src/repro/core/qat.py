@@ -1,0 +1,107 @@
+"""Quantization-aware fine-tuning of a mixed-precision assignment (Fig. 3).
+
+Straight-through-estimator QAT: the forward pass runs with fake-quantized
+weights at the assigned per-layer bit-widths, the backward gradient is
+applied to the float master weights as if quantization were the identity.
+Quantizer scales are re-calibrated from the current master weights every
+``recalibrate_every`` steps (cheap MSE grid search).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..data import shuffled_epochs
+from ..nn import CrossEntropyLoss, Module, SGD, cosine_lr
+from ..quant import PerChannelAffineQuantizer, UniformSymmetricQuantizer
+
+__all__ = ["QATConfig", "qat_finetune"]
+
+
+def _make_quantizer(w: np.ndarray, bits: int, scheme: str):
+    """Calibrated quantizer (callable) for the current master weights."""
+    if scheme == "symmetric":
+        return UniformSymmetricQuantizer(bits).calibrate(w)
+    if scheme == "affine":
+        return PerChannelAffineQuantizer(bits).calibrate(w)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+@dataclass(frozen=True)
+class QATConfig:
+    """Fine-tuning recipe."""
+
+    epochs: int = 3
+    batch_size: int = 64
+    lr: float = 5e-3
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    recalibrate_every: int = 10
+    seed: int = 7
+
+
+def qat_finetune(
+    model: Module,
+    layers: Sequence,
+    bits_per_layer: Sequence[int],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    config: QATConfig = QATConfig(),
+    scheme: str = "symmetric",
+    criterion: Optional[CrossEntropyLoss] = None,
+) -> Dict[str, float]:
+    """Fine-tune ``model`` in place under a fixed bit-width assignment.
+
+    On return the *master* (float) weights are left in the model; quantize
+    them with the same assignment for deployment-accuracy evaluation.
+    Returns the final training loss.
+    """
+    if len(layers) != len(bits_per_layer):
+        raise ValueError("layers / bits length mismatch")
+    criterion = criterion or CrossEntropyLoss()
+    opt = SGD(
+        model.parameters(),
+        lr=config.lr,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+    )
+    steps_per_epoch = (len(x_train) + config.batch_size - 1) // config.batch_size
+    total_steps = steps_per_epoch * config.epochs
+    rng = np.random.default_rng(config.seed)
+    quantizers: Dict[int, object] = {}
+    step = 0
+    last_loss = float("nan")
+    model.train()
+    for _epoch, xb, yb in shuffled_epochs(
+        x_train, y_train, config.batch_size, config.epochs, rng=rng
+    ):
+        opt.lr = cosine_lr(config.lr, step, total_steps)
+        if step % config.recalibrate_every == 0:
+            # Re-run the (relatively costly) MSE scale search periodically;
+            # the quantization itself is re-applied from the *current*
+            # master weights on every step below.
+            quantizers = {
+                i: _make_quantizer(layer.weight.data, int(b), scheme)
+                for i, (layer, b) in enumerate(zip(layers, bits_per_layer))
+            }
+        masters = [layer.weight.data for layer in layers]
+        try:
+            # Forward/backward with fake-quantized weights (STE).
+            for i, layer in enumerate(layers):
+                layer.weight.data = quantizers[i](layer.weight.data).astype(
+                    layer.weight.data.dtype
+                )
+            logits = model.forward(xb)
+            last_loss = criterion.forward(logits, yb)
+            opt.zero_grad()
+            model.backward(criterion.backward())
+        finally:
+            for layer, master in zip(layers, masters):
+                layer.weight.data = master
+        opt.step()
+        step += 1
+    model.eval()
+    return {"final_train_loss": float(last_loss), "steps": float(step)}

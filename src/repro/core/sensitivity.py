@@ -1,0 +1,228 @@
+"""Forward-only sensitivity measurement (Algorithm 1 of the paper).
+
+Measures, on a small sensitivity set:
+
+- *layer-specific* sensitivities (Eq. 12):
+  ``Omega_ii(m) = 2 (L(w + dw_m^i) - L(w))``
+- *cross-layer* sensitivities (Eq. 13):
+  ``Omega_ij(m, n) = L(w + dw_m^i + dw_n^j) + L(w) - L(w + dw_m^i) - L(w + dw_n^j)``
+
+and assembles the symmetric sensitivity matrix ``G-hat`` of Eq. 10, with
+``G[Bi+m, Bi+m] = Omega_ii(m)`` and ``G[Bi+m, Bj+n] = G[Bj+n, Bi+m] =
+Omega_ij(m, n)``, so that ``alpha^T G alpha`` equals the objective of Eq. 7
+(diagonal terms once, cross terms twice) for one-hot ``alpha``.
+
+Entries coupling two different bit choices *of the same layer* are
+structurally zero: a one-hot ``alpha^(i)`` can never activate two of them
+together, and no measurement defines them.
+
+Cost accounting: ``|B|I`` single-layer evaluations plus
+``|B|^2 I(I-1)/2`` pair evaluations (plus one baseline evaluation), i.e.
+bounded by the paper's ``(1/2)|B|I(|B|I + 1)`` figure, which also counts
+the structurally-zero same-layer pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..nn import CrossEntropyLoss
+from ..quant import QuantizedWeightTable
+
+__all__ = ["SensitivityResult", "SensitivityEngine", "block_id_from_name"]
+
+
+@dataclass
+class SensitivityResult:
+    """Raw (pre-PSD) sensitivity measurements."""
+
+    matrix: np.ndarray  # (|B|I, |B|I), symmetric, same-layer cross entries 0
+    base_loss: float
+    single_losses: np.ndarray  # (I, |B|) losses with one layer quantized
+    num_evals: int
+    wall_time: float
+    mode: str
+    bits: Tuple[int, ...] = ()
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_layers(self) -> int:
+        return self.single_losses.shape[0]
+
+    @property
+    def num_choices(self) -> int:
+        return self.single_losses.shape[1]
+
+    def diagonal_costs(self) -> np.ndarray:
+        """Per-(layer, choice) layer-specific sensitivities, shape (I, |B|)."""
+        diag = np.diag(self.matrix)
+        return diag.reshape(self.num_layers, self.num_choices).copy()
+
+    def cross_block(self, i: int, j: int) -> np.ndarray:
+        """The ``(|B|, |B|)`` cross-sensitivity block for layer pair (i, j)."""
+        nb = self.num_choices
+        return self.matrix[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb].copy()
+
+
+def block_id_from_name(name: str) -> str:
+    """Group layers into residual blocks by their dotted module path.
+
+    ``stages.1.layers.0.conv2`` -> ``stages.1.layers.0`` (a residual block);
+    ``features.3.expand.conv`` -> ``features.3``; ViT ``layer.2.mlp.output``
+    -> ``layer.2`` (an encoder block).  Top-level layers (stem, head, fc)
+    each form their own singleton block.
+    """
+    parts = name.split(".")
+    for depth in range(len(parts) - 1, 0, -1):
+        prefix = parts[:depth]
+        if prefix[-1].isdigit():
+            return ".".join(prefix)
+    return name
+
+
+class SensitivityEngine:
+    """Runs Algorithm 1 against a model and a quantized-weight table."""
+
+    def __init__(
+        self,
+        model,
+        table: QuantizedWeightTable,
+        criterion: Optional[CrossEntropyLoss] = None,
+    ) -> None:
+        self.model = model
+        self.table = table
+        self.criterion = criterion or CrossEntropyLoss()
+
+    # -- loss of the current weight configuration ------------------------------
+    def _loss(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> float:
+        total = 0.0
+        n = len(x)
+        self.model.eval()
+        for start in range(0, n, batch_size):
+            xb = x[start : start + batch_size]
+            yb = y[start : start + batch_size]
+            total += self.criterion.forward(self.model.forward(xb), yb) * len(xb)
+        loss = total / n
+        if not np.isfinite(loss):
+            # A single non-finite measurement silently poisons the whole
+            # sensitivity matrix; fail loudly at the source instead.
+            raise RuntimeError(
+                "non-finite loss during sensitivity measurement "
+                "(model diverged or inputs are corrupt)"
+            )
+        return loss
+
+    def measure(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        mode: str = "full",
+        blocks: Optional[Sequence[str]] = None,
+        batch_size: int = 256,
+        progress: Optional[Callable[[int, int], None]] = None,
+        symmetric_diag: bool = False,
+    ) -> SensitivityResult:
+        """Measure the sensitivity matrix on the set ``(x, y)``.
+
+        Parameters
+        ----------
+        mode:
+            ``"full"`` — all pairwise cross terms (CLADO);
+            ``"diagonal"`` — layer-specific terms only (CLADO* ablation);
+            ``"block"`` — cross terms only within blocks (BRECQ-style
+            ablation, Fig. 6).  ``blocks`` gives each layer's block id;
+            derived from layer names when omitted.
+        progress:
+            Optional callback ``(done, total)`` for long sweeps.
+        symmetric_diag:
+            Extension beyond the paper: measure the layer-specific terms
+            with the symmetric second difference
+            ``L(w+Δ) + L(w-Δ) - 2L(w)`` instead of Eq. 12's one-sided
+            ``2(L(w+Δ) - L(w))``.  Odd-order Taylor terms (including the
+            gradient term at a not-fully-converged model) cancel, at the
+            cost of ``|B|I`` extra loss evaluations.  Cross terms (Eq. 13)
+            already cancel the first order and are unchanged.
+        """
+        if mode not in ("full", "diagonal", "block"):
+            raise ValueError(f"unknown mode {mode!r}")
+        t0 = time.time()
+        layers = self.table.layers
+        bits = self.table.config.bits
+        num_layers = len(layers)
+        nb = len(bits)
+        nvars = num_layers * nb
+
+        if mode == "block":
+            if blocks is None:
+                blocks = [block_id_from_name(layer.name) for layer in layers]
+            if len(blocks) != num_layers:
+                raise ValueError("blocks length mismatch")
+
+        pair_list: List[Tuple[int, int]] = []
+        if mode != "diagonal":
+            for i in range(num_layers):
+                for j in range(i + 1, num_layers):
+                    if mode == "block" and blocks[i] != blocks[j]:
+                        continue
+                    pair_list.append((i, j))
+        diag_evals = num_layers * nb * (2 if symmetric_diag else 1)
+        total_evals = 1 + diag_evals + len(pair_list) * nb * nb
+        done = 0
+
+        def tick() -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(done, total_evals)
+
+        base_loss = self._loss(x, y, batch_size)
+        tick()
+
+        matrix = np.zeros((nvars, nvars))
+        single = np.zeros((num_layers, nb))
+        for i in range(num_layers):
+            for m, b in enumerate(bits):
+                with self.table.perturbed((i, b)):
+                    loss = self._loss(x, y, batch_size)
+                single[i, m] = loss
+                if symmetric_diag:
+                    # Mirror point w - Δ = 2w - Q(w): odd orders cancel.
+                    layer = self.table.layers[i]
+                    original = self.table.original[i]
+                    try:
+                        layer.weight.data = (
+                            2.0 * original - self.table.quantized(i, b)
+                        ).astype(original.dtype)
+                        minus_loss = self._loss(x, y, batch_size)
+                    finally:
+                        layer.weight.data = original
+                    omega_ii = loss + minus_loss - 2.0 * base_loss
+                    tick()
+                else:
+                    omega_ii = 2.0 * (loss - base_loss)
+                matrix[i * nb + m, i * nb + m] = omega_ii
+                tick()
+
+        for i, j in pair_list:
+            for m, bm in enumerate(bits):
+                for n, bn in enumerate(bits):
+                    with self.table.perturbed((i, bm), (j, bn)):
+                        pair_loss = self._loss(x, y, batch_size)
+                    omega = pair_loss + base_loss - single[i, m] - single[j, n]
+                    matrix[i * nb + m, j * nb + n] = omega
+                    matrix[j * nb + n, i * nb + m] = omega
+                    tick()
+
+        return SensitivityResult(
+            matrix=matrix,
+            base_loss=base_loss,
+            single_losses=single,
+            num_evals=total_evals,
+            wall_time=time.time() - t0,
+            mode=mode,
+            bits=tuple(bits),
+        )

@@ -1,0 +1,15 @@
+"""Synthetic dataset and sampling utilities (the paper's ImageNet stand-in)."""
+
+from .loaders import iterate_batches, shuffled_epochs
+from .sensitivity_sets import sensitivity_set, sensitivity_sets
+from .synthetic import SyntheticConfig, SyntheticImageNet, make_dataset
+
+__all__ = [
+    "SyntheticConfig",
+    "SyntheticImageNet",
+    "make_dataset",
+    "iterate_batches",
+    "shuffled_epochs",
+    "sensitivity_set",
+    "sensitivity_sets",
+]

@@ -1,0 +1,39 @@
+"""Batch iteration helpers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["iterate_batches", "shuffled_epochs"]
+
+
+def iterate_batches(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield consecutive ``(x, y)`` batches (last batch may be short)."""
+    if len(images) != len(labels):
+        raise ValueError("images / labels length mismatch")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    for start in range(0, len(images), batch_size):
+        yield images[start : start + batch_size], labels[start : start + batch_size]
+
+
+def shuffled_epochs(
+    images: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    epochs: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+    """Yield ``(epoch, x, y)`` batches with a fresh shuffle each epoch."""
+    rng = rng or np.random.default_rng(0)
+    for epoch in range(epochs):
+        order = rng.permutation(len(images))
+        for start in range(0, len(images), batch_size):
+            idx = order[start : start + batch_size]
+            yield epoch, images[idx], labels[idx]

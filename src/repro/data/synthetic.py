@@ -1,0 +1,149 @@
+"""SynthImageNet: a deterministic procedural stand-in for ImageNet.
+
+The paper evaluates on ImageNet, which is unavailable here.  MPQ research
+needs three properties from the dataset, all of which this generator
+provides:
+
+1. a *learnable* multi-class image-classification task (so the zoo models
+   reach high full-precision accuracy and lose it under aggressive
+   quantization — the axis every table/figure of the paper measures);
+2. enough intra-class variability that per-layer quantization noise
+   interacts with the features non-trivially (plain one-hot templates would
+   make every layer equally robust);
+3. determinism, so cached pretrained checkpoints, sensitivity sets, and
+   experiment results are reproducible bit-for-bit.
+
+Each class is defined by a random mixture of oriented sinusoidal gratings
+plus a set of Gaussian color blobs ("texture + shape" prototype).  A sample
+draws the class prototype, applies a random affine-ish jitter (shift of the
+blob centers, phase shift of the gratings), random contrast/brightness, and
+pixel noise.  Classes are well-separated but not linearly so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticConfig", "SyntheticImageNet", "make_dataset"]
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Configuration of the synthetic dataset."""
+
+    num_classes: int = 16
+    image_size: int = 32
+    channels: int = 3
+    gratings_per_class: int = 3
+    blobs_per_class: int = 3
+    noise_std: float = 0.9
+    jitter: float = 0.45
+    seed: int = 2025
+
+
+@dataclass
+class _ClassPrototype:
+    freqs: np.ndarray  # (G, 2) spatial frequency vectors
+    grating_colors: np.ndarray  # (G, C)
+    blob_centers: np.ndarray  # (B, 2) in [0, 1]
+    blob_scales: np.ndarray  # (B,)
+    blob_colors: np.ndarray  # (B, C)
+    phases: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+
+class SyntheticImageNet:
+    """Deterministic generator for train/val splits and sensitivity sets."""
+
+    def __init__(self, config: SyntheticConfig = SyntheticConfig()) -> None:
+        self.config = config
+        self._prototypes = self._build_prototypes()
+        size = config.image_size
+        ys, xs = np.meshgrid(
+            np.linspace(0.0, 1.0, size), np.linspace(0.0, 1.0, size), indexing="ij"
+        )
+        self._grid = np.stack([ys, xs])  # (2, H, W)
+
+    # -- prototypes ----------------------------------------------------------
+    def _build_prototypes(self) -> list:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        prototypes = []
+        for _ in range(cfg.num_classes):
+            freqs = rng.uniform(1.5, 6.0, size=(cfg.gratings_per_class, 2))
+            freqs *= rng.choice([-1.0, 1.0], size=freqs.shape)
+            grating_colors = rng.uniform(-0.6, 0.6, (cfg.gratings_per_class, cfg.channels))
+            blob_centers = rng.uniform(0.15, 0.85, (cfg.blobs_per_class, 2))
+            blob_scales = rng.uniform(0.05, 0.18, cfg.blobs_per_class)
+            blob_colors = rng.uniform(-1.0, 1.0, (cfg.blobs_per_class, cfg.channels))
+            prototypes.append(
+                _ClassPrototype(
+                    freqs=freqs,
+                    grating_colors=grating_colors,
+                    blob_centers=blob_centers,
+                    blob_scales=blob_scales,
+                    blob_colors=blob_colors,
+                )
+            )
+        return prototypes
+
+    # -- sampling --------------------------------------------------------------
+    def _render(self, label: int, rng: np.random.Generator) -> np.ndarray:
+        cfg = self.config
+        proto = self._prototypes[label]
+        ys, xs = self._grid
+        img = np.zeros((cfg.channels, cfg.image_size, cfg.image_size))
+        phases = rng.uniform(0.0, 2 * np.pi, size=len(proto.freqs))
+        for (fy, fx), color, phase in zip(proto.freqs, proto.grating_colors, phases):
+            wave = np.sin(2 * np.pi * (fy * ys + fx * xs) + phase)
+            img += color[:, None, None] * wave
+        shifts = rng.normal(0.0, cfg.jitter * 0.15, size=(len(proto.blob_centers), 2))
+        for center, scale, color, shift in zip(
+            proto.blob_centers, proto.blob_scales, proto.blob_colors, shifts
+        ):
+            cy, cx = np.clip(center + shift, 0.0, 1.0)
+            dist2 = (ys - cy) ** 2 + (xs - cx) ** 2
+            img += color[:, None, None] * np.exp(-dist2 / (2 * scale**2))
+        contrast = rng.uniform(1.0 - cfg.jitter, 1.0 + cfg.jitter)
+        brightness = rng.normal(0.0, cfg.jitter * 0.3)
+        img = contrast * img + brightness
+        img += rng.normal(0.0, cfg.noise_std, size=img.shape)
+        return img.astype(np.float32)
+
+    def sample(
+        self, n: int, seed: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` labelled images deterministically from ``seed``.
+
+        Returns ``(images, labels)`` with images of shape
+        ``(n, C, H, W)`` roughly standardized to zero mean / unit-ish scale.
+        """
+        if n <= 0:
+            raise ValueError(f"sample count must be positive, got {n}")
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, self.config.num_classes, size=n)
+        images = np.stack([self._render(int(lbl), rng) for lbl in labels])
+        return images, labels
+
+    def splits(
+        self, n_train: int, n_val: int
+    ) -> Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+        """Disjoint train and validation draws (different seed streams)."""
+        train = self.sample(n_train, seed=self.config.seed + 1)
+        val = self.sample(n_val, seed=self.config.seed + 2)
+        return train, val
+
+
+def make_dataset(
+    num_classes: int = 10,
+    image_size: int = 32,
+    seed: int = 2025,
+    **kwargs,
+) -> SyntheticImageNet:
+    """Convenience constructor used throughout examples and benchmarks."""
+    config = SyntheticConfig(
+        num_classes=num_classes, image_size=image_size, seed=seed, **kwargs
+    )
+    return SyntheticImageNet(config)

@@ -1,0 +1,57 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .assignments import format_assignments, run_assignments
+from .compare import ComparisonResult, compare_algorithms, uniform_reference
+from .config import Scale, TABLE1_MODELS, get_scale, model_quant_config
+from .fig1 import PairStudy, format_fig1, run_fig1
+from .fig3_qat import QATComparison, format_fig3, run_fig3
+from .fig4 import SampleSizeStudy, format_fig4, run_fig4
+from .fig6 import format_fig6, run_fig6
+from .fig7 import PSDStudy, format_fig7, run_fig7
+from .pareto import format_pareto, run_pareto
+from .runner import ExperimentContext
+from .runtime import RuntimeRow, format_runtime, run_runtime
+from .table1 import TABLE1_ALGORITHMS, format_table1, run_table1
+from .table2 import Vhvrow, format_table2, run_table2
+from .tables import format_assignment, format_series, format_table
+
+__all__ = [
+    "ExperimentContext",
+    "Scale",
+    "get_scale",
+    "model_quant_config",
+    "TABLE1_MODELS",
+    "TABLE1_ALGORITHMS",
+    "ComparisonResult",
+    "compare_algorithms",
+    "uniform_reference",
+    "run_table1",
+    "format_table1",
+    "run_table2",
+    "format_table2",
+    "Vhvrow",
+    "run_fig1",
+    "format_fig1",
+    "PairStudy",
+    "run_pareto",
+    "format_pareto",
+    "run_fig3",
+    "format_fig3",
+    "QATComparison",
+    "run_fig4",
+    "format_fig4",
+    "SampleSizeStudy",
+    "run_fig6",
+    "format_fig6",
+    "run_fig7",
+    "format_fig7",
+    "PSDStudy",
+    "run_runtime",
+    "format_runtime",
+    "RuntimeRow",
+    "run_assignments",
+    "format_assignments",
+    "format_table",
+    "format_series",
+    "format_assignment",
+]

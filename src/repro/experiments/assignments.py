@@ -1,0 +1,52 @@
+"""Fig. 5 and Figs. 9-12: per-layer bit-width assignment visualizations.
+
+Prints, for a model and budget, the bit chosen by each algorithm for every
+layer next to the layer-index map (our Appendix A analogue).  The paper's
+qualitative findings to look for: more bits to shallow layers, divergent
+decisions on downsample/projection layers between CLADO and the diagonal
+baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..models import layer_index_map
+from .compare import compare_algorithms
+from .runner import ExperimentContext
+from .tables import format_assignment
+
+__all__ = ["run_assignments", "format_assignments"]
+
+
+def run_assignments(
+    ctx: ExperimentContext,
+    model_name: str = "resnet_s50",
+    algorithms: Sequence[str] = ("hawq", "mpqco", "clado"),
+    avg_bits: float = 4.0,
+    use_cache: bool = True,
+) -> Dict[str, list]:
+    """Assignments of every algorithm at one budget (Fig. 5 protocol)."""
+    cache_key = f"assignments-{model_name}-b{avg_bits}"
+    if use_cache:
+        cached = ctx.load_result(cache_key)
+        if cached is not None:
+            return cached
+    result = compare_algorithms(ctx, model_name, algorithms, [avg_bits])
+    payload = {algo: result.assignments[algo][0] for algo in algorithms}
+    ctx.save_result(cache_key, payload)
+    return payload
+
+
+def format_assignments(
+    ctx: ExperimentContext,
+    model_name: str,
+    assignments: Dict[str, list],
+    avg_bits: Optional[float] = None,
+) -> str:
+    index_map = layer_index_map(ctx.model(model_name), model_name)
+    names = [index_map[i] for i in sorted(index_map)]
+    title = f"Bit-width assignments [{model_name}]"
+    if avg_bits is not None:
+        title += f" at avg {avg_bits} bits (≈{avg_bits}-bit UPQ size)"
+    return format_assignment(title, names, assignments)

@@ -1,0 +1,141 @@
+"""Fig. 1: cross-layer terms change which layer *pair* is optimal to quantize.
+
+The paper's motivating example: pick two layers to quantize (at a fixed low
+bit-width) minimizing the induced loss.  Ranking pairs by the sum of
+diagonal sensitivities (what HAWQ/MPQCO-style methods do) can disagree with
+the ranking by the full expression
+``Omega_ii + Omega_jj + 2 Omega_ij`` — whenever it does, ignoring
+cross-layer dependency is provably suboptimal on that instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .runner import ExperimentContext
+
+__all__ = ["PairStudy", "run_fig1", "format_fig1"]
+
+
+@dataclass
+class PairStudy:
+    """All pair scores for one (model, bits) sensitivity matrix."""
+
+    model_name: str
+    bits: int
+    layer_names: List[str]
+    diag: np.ndarray  # (I,) Omega_ii at the chosen bit-width
+    cross: np.ndarray  # (I, I) Omega_ij at the chosen bit-width
+    best_pair_diag: Tuple[int, int]
+    best_pair_full: Tuple[int, int]
+
+    @property
+    def disagreement(self) -> bool:
+        return tuple(sorted(self.best_pair_diag)) != tuple(
+            sorted(self.best_pair_full)
+        )
+
+    def pair_score_diag(self, i: int, j: int) -> float:
+        return float(self.diag[i] + self.diag[j])
+
+    def pair_score_full(self, i: int, j: int) -> float:
+        return float(self.diag[i] + self.diag[j] + 2.0 * self.cross[i, j])
+
+
+def run_fig1(
+    ctx: ExperimentContext,
+    model_name: str = "resnet_s34",
+    bits: int = 2,
+    top_k: Optional[int] = None,
+) -> PairStudy:
+    """Build the Fig. 1 sensitivity study from the cached full matrix.
+
+    ``top_k`` restricts the study to the k layers with the smallest
+    diagonal sensitivity (the interesting candidates for quantization,
+    like the paper's 3-4 selected layers); default uses all layers.
+    """
+    from ..models import quantizable_layers
+    from .config import model_quant_config
+
+    config = model_quant_config(model_name)
+    if bits not in config.bits:
+        raise ValueError(f"{bits}-bit not in candidate set {config.bits}")
+    m = config.bits.index(bits)
+    result = ctx.measured_sensitivity(model_name, "full", config=config)
+    nb = len(config.bits)
+    num_layers = result.num_layers
+    layers = quantizable_layers(ctx.model(model_name), model_name)
+    names = [layer.name for layer in layers]
+
+    diag = np.array([result.matrix[i * nb + m, i * nb + m] for i in range(num_layers)])
+    cross = np.zeros((num_layers, num_layers))
+    for i in range(num_layers):
+        for j in range(num_layers):
+            if i != j:
+                cross[i, j] = result.matrix[i * nb + m, j * nb + m]
+
+    if top_k is not None and top_k < num_layers:
+        keep = np.argsort(diag)[:top_k]
+        keep = np.sort(keep)
+        diag = diag[keep]
+        cross = cross[np.ix_(keep, keep)]
+        names = [names[k] for k in keep]
+        num_layers = top_k
+
+    best_diag, best_full = None, None
+    best_diag_score, best_full_score = np.inf, np.inf
+    for i in range(num_layers):
+        for j in range(i + 1, num_layers):
+            sd = diag[i] + diag[j]
+            sf = sd + 2.0 * cross[i, j]
+            if sd < best_diag_score:
+                best_diag_score, best_diag = sd, (i, j)
+            if sf < best_full_score:
+                best_full_score, best_full = sf, (i, j)
+    return PairStudy(
+        model_name=model_name,
+        bits=bits,
+        layer_names=names,
+        diag=diag,
+        cross=cross,
+        best_pair_diag=best_diag,
+        best_pair_full=best_full,
+    )
+
+
+def format_fig1(study: PairStudy) -> str:
+    lines = [
+        f"Fig. 1 pair study: {study.model_name} @ {study.bits}-bit",
+        "-" * 64,
+    ]
+    d = study.best_pair_diag
+    f = study.best_pair_full
+    lines.append(
+        f"diagonal-only pick: layers {d} "
+        f"({study.layer_names[d[0]]}, {study.layer_names[d[1]]}) "
+        f"predicted {study.pair_score_diag(*d):+.5f}, "
+        f"actual {study.pair_score_full(*d):+.5f}"
+    )
+    lines.append(
+        f"full (cross-aware) pick: layers {f} "
+        f"({study.layer_names[f[0]]}, {study.layer_names[f[1]]}) "
+        f"actual {study.pair_score_full(*f):+.5f}"
+    )
+    lines.append(
+        "cross-layer terms change the optimal pair: "
+        + ("YES" if study.disagreement else "no (this instance)")
+    )
+    lines.append("")
+    lines.append("sensitivity matrix (diag = Omega_ii, off-diag = Omega_ij):")
+    header = f"{'':>26}" + "".join(f"{i:>10}" for i in range(len(study.diag)))
+    lines.append(header)
+    for i, name in enumerate(study.layer_names):
+        row = f"{name[:24]:>26}"
+        for j in range(len(study.diag)):
+            value = study.diag[i] if i == j else study.cross[i, j]
+            row += f"{value:>10.4f}"
+        lines.append(row)
+    return "\n".join(lines)

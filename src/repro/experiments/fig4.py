@@ -1,0 +1,101 @@
+"""Fig. 4: dependence of MPQ performance on the sensitivity-set sample size.
+
+For each sample size, draw several independent sensitivity sets (the paper
+uses 24; this reproduction's count is ``scale.fig4_replicates``), run each
+algorithm per set, and report the median and quartiles of validation
+accuracy at a fixed tight budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .compare import compare_algorithms
+from .runner import ExperimentContext
+
+__all__ = ["SampleSizeStudy", "run_fig4", "format_fig4"]
+
+
+@dataclass
+class SampleSizeStudy:
+    model_name: str
+    avg_bits: float
+    set_sizes: List[int]
+    replicates: int
+    # accuracy[algo][set_size] = list over replicates
+    accuracy: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+
+    def quartiles(self, algo: str, set_size: int) -> tuple:
+        values = np.asarray(self.accuracy[algo][str(set_size)])
+        return (
+            float(np.percentile(values, 25)),
+            float(np.percentile(values, 50)),
+            float(np.percentile(values, 75)),
+        )
+
+    def to_json(self) -> dict:
+        return self.__dict__
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "SampleSizeStudy":
+        return cls(**payload)
+
+
+def run_fig4(
+    ctx: ExperimentContext,
+    model_name: str = "vit_s",
+    algorithms: Sequence[str] = ("hawq", "mpqco", "clado"),
+    avg_bits: float = 3.0,
+    set_sizes: Optional[Sequence[int]] = None,
+    replicates: Optional[int] = None,
+    use_cache: bool = True,
+) -> SampleSizeStudy:
+    set_sizes = list(set_sizes or ctx.scale.fig4_set_sizes)
+    replicates = replicates or ctx.scale.fig4_replicates
+    cache_key = f"fig4-{model_name}-b{avg_bits}"
+    if use_cache:
+        cached = ctx.load_result(cache_key)
+        if cached is not None:
+            return SampleSizeStudy.from_json(cached)
+
+    study = SampleSizeStudy(
+        model_name=model_name,
+        avg_bits=float(avg_bits),
+        set_sizes=[int(s) for s in set_sizes],
+        replicates=int(replicates),
+    )
+    for algo in algorithms:
+        study.accuracy[algo] = {str(s): [] for s in set_sizes}
+    for size in set_sizes:
+        for rep in range(replicates):
+            result = compare_algorithms(
+                ctx,
+                model_name,
+                algorithms,
+                [avg_bits],
+                set_size=int(size),
+                replicate=rep,
+            )
+            for algo in algorithms:
+                study.accuracy[algo][str(size)].append(result.accuracy[algo][0])
+    ctx.save_result(cache_key, study.to_json())
+    return study
+
+
+def format_fig4(study: SampleSizeStudy) -> str:
+    lines = [
+        f"Fig. 4 sample-size dependence [{study.model_name}] "
+        f"@ avg {study.avg_bits} bits, {study.replicates} sets/size",
+        "-" * 72,
+        f"{'algo':<12}{'set size':>10}{'q25':>10}{'median':>10}{'q75':>10}",
+    ]
+    for algo in study.accuracy:
+        for size in study.set_sizes:
+            q25, q50, q75 = study.quartiles(algo, size)
+            lines.append(
+                f"{algo:<12}{size:>10}{q25:>10.2f}{q50:>10.2f}{q75:>10.2f}"
+            )
+    return "\n".join(lines)

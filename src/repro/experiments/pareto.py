@@ -1,0 +1,57 @@
+"""Fig. 2: accuracy-vs-size trade-off (Pareto) curves for every model.
+
+Budget sweep with more points than Table 1; the expected shape is the
+paper's: all algorithms converge near 8-bit UPQ at large budgets, CLADO
+dominates as the budget tightens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .compare import ComparisonResult, compare_algorithms
+from .config import TABLE1_MODELS
+from .runner import ExperimentContext
+from .table1 import TABLE1_ALGORITHMS
+from .tables import format_series
+
+__all__ = ["run_pareto", "format_pareto"]
+
+
+def run_pareto(
+    ctx: ExperimentContext,
+    models: Optional[Sequence[str]] = None,
+    algorithms: Sequence[str] = TABLE1_ALGORITHMS,
+    use_cache: bool = True,
+) -> Dict[str, ComparisonResult]:
+    """Sweep ``ctx.scale.pareto_avg_bits`` budgets for each model."""
+    models = list(models or TABLE1_MODELS)
+    results: Dict[str, ComparisonResult] = {}
+    for model_name in models:
+        cache_key = f"fig2-pareto-{model_name}"
+        cached = ctx.load_result(cache_key) if use_cache else None
+        if cached is not None:
+            results[model_name] = ComparisonResult.from_json(cached)
+            continue
+        result = compare_algorithms(
+            ctx, model_name, algorithms, ctx.scale.pareto_avg_bits
+        )
+        ctx.save_result(cache_key, result.to_json())
+        results[model_name] = result
+    return results
+
+
+def format_pareto(results: Dict[str, ComparisonResult]) -> str:
+    blocks = []
+    for model_name, result in results.items():
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for algo, accs in result.accuracy.items():
+            series[algo] = list(zip(result.sizes_mb, accs))
+        blocks.append(
+            format_series(
+                f"Fig. 2 Pareto curves [{model_name}] "
+                f"(FP acc {result.fp_accuracy:.2f}%)",
+                series,
+            )
+        )
+    return "\n\n".join(blocks)

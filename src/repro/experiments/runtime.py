@@ -1,0 +1,80 @@
+"""§5.2 runtime comparison: sensitivity-measurement cost per algorithm.
+
+The paper's profile: CLADO and HAWQ take comparable time (hours on GPU),
+MPQCO minutes.  Here we report measurement *counts* (which are exact,
+machine-independent reproductions of the paper's formulas) alongside
+measured wall time on this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..models import quantizable_layers
+from .config import model_quant_config
+from .runner import ExperimentContext
+
+__all__ = ["RuntimeRow", "run_runtime", "format_runtime"]
+
+
+@dataclass
+class RuntimeRow:
+    algorithm: str
+    forward_evals: int
+    backward_passes: int
+    wall_seconds: float
+
+
+def run_runtime(
+    ctx: ExperimentContext,
+    model_name: str = "resnet_s34",
+    set_size: int = 64,
+) -> List[RuntimeRow]:
+    """Measure preparation cost of each algorithm on one model."""
+    model = ctx.model(model_name)
+    config = model_quant_config(model_name)
+    layers = quantizable_layers(model, model_name)
+    num_layers = len(layers)
+    nb = config.num_choices
+    x, y = ctx.sensitivity_data(set_size)
+
+    rows: List[RuntimeRow] = []
+    for kind in ("clado", "clado_star", "hawq", "mpqco"):
+        algo = ctx.make_algorithm(kind, model_name, config=config)
+        algo.prepare(x, y)
+        if kind == "clado":
+            evals = 1 + num_layers * nb + (num_layers * (num_layers - 1) // 2) * nb * nb
+            backward = 0
+        elif kind == "clado_star":
+            evals = 1 + num_layers * nb
+            backward = 0
+        elif kind == "hawq":
+            evals = 0
+            backward = 2 * ctx.scale.hawq_probes  # central differences
+        else:  # mpqco
+            evals = 0
+            backward = (set_size + 255) // 256
+        rows.append(
+            RuntimeRow(
+                algorithm=algo.name,
+                forward_evals=evals,
+                backward_passes=backward,
+                wall_seconds=algo.prepare_time,
+            )
+        )
+    return rows
+
+
+def format_runtime(model_name: str, rows: Sequence[RuntimeRow]) -> str:
+    lines = [
+        f"Sensitivity computation cost [{model_name}] (§5.2)",
+        "-" * 64,
+        f"{'algorithm':<12}{'fwd evals':>12}{'bwd passes':>12}{'seconds':>12}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.algorithm:<12}{row.forward_evals:>12}"
+            f"{row.backward_passes:>12}{row.wall_seconds:>12.1f}"
+        )
+    return "\n".join(lines)

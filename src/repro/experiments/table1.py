@@ -1,0 +1,71 @@
+"""Table 1: PTQ top-1 accuracy of HAWQ / MPQCO / CLADO* / CLADO.
+
+For each model, three size budgets between the minimum and maximum
+achievable (the paper picks sizes roughly corresponding to 3/4/5-bit
+averages); rows are algorithms, columns sizes.  The expected *shape*:
+CLADO >= CLADO* and baselines, with the gap widening at tight budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .compare import ComparisonResult, compare_algorithms, uniform_reference
+from .config import TABLE1_MODELS
+from .runner import ExperimentContext
+from .tables import format_table
+
+__all__ = ["run_table1", "format_table1", "TABLE1_ALGORITHMS"]
+
+TABLE1_ALGORITHMS = ("hawq", "mpqco", "clado_star", "clado")
+
+_DISPLAY = {
+    "hawq": "HAWQ",
+    "mpqco": "MPQCO",
+    "clado_star": "CLADO*",
+    "clado": "CLADO",
+    "clado_block": "block-CLADO",
+    "clado_nopsd": "CLADO(noPSD)",
+}
+
+
+def run_table1(
+    ctx: ExperimentContext,
+    models: Optional[Sequence[str]] = None,
+    use_cache: bool = True,
+) -> Dict[str, ComparisonResult]:
+    """Compute (or load) the Table 1 grid for the requested models."""
+    models = list(models or TABLE1_MODELS)
+    results: Dict[str, ComparisonResult] = {}
+    for model_name in models:
+        cache_key = f"table1-{model_name}"
+        cached = ctx.load_result(cache_key) if use_cache else None
+        if cached is not None:
+            results[model_name] = ComparisonResult.from_json(cached)
+            continue
+        result = compare_algorithms(
+            ctx, model_name, TABLE1_ALGORITHMS, ctx.scale.table1_avg_bits
+        )
+        ctx.save_result(cache_key, result.to_json())
+        results[model_name] = result
+    return results
+
+
+def format_table1(ctx: ExperimentContext, results: Dict[str, ComparisonResult]) -> str:
+    """Render the paper-style table, one block per model."""
+    blocks = []
+    for model_name, result in results.items():
+        upq = uniform_reference(ctx, model_name)
+        int8_size, int8_acc = upq[max(upq)]
+        title = (
+            f"Table 1 [{model_name}] — INT8 size: {int8_size:.3f} MB; "
+            f"INT8 acc: {int8_acc:.2f}; FP acc: {result.fp_accuracy:.2f}"
+        )
+        headers = [f"{s:.3f}MB" for s in result.sizes_mb]
+        rows = {
+            _DISPLAY[k]: result.accuracy[k]
+            for k in TABLE1_ALGORITHMS
+            if k in result.accuracy
+        }
+        blocks.append(format_table(title, headers, rows, row_label="algorithm"))
+    return "\n\n".join(blocks)

@@ -1,0 +1,66 @@
+"""Plain-text rendering of paper-style tables and curves.
+
+Everything prints through these helpers so benchmark output reads like the
+paper's tables (rows = algorithms, columns = model sizes) and figures
+(series of (size, accuracy) points).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "format_series", "format_assignment"]
+
+
+def format_table(
+    title: str,
+    col_headers: Sequence[str],
+    rows: Dict[str, Sequence[object]],
+    row_label: str = "",
+    width: int = 12,
+) -> str:
+    """Fixed-width table with a title, one row per dict entry."""
+    lines = [title, "-" * max(len(title), 8)]
+    header = f"{row_label:<16}" + "".join(f"{h:>{width}}" for h in col_headers)
+    lines.append(header)
+    for name, values in rows.items():
+        cells = []
+        for v in values:
+            if isinstance(v, float):
+                cells.append(f"{v:>{width}.2f}")
+            else:
+                cells.append(f"{str(v):>{width}}")
+        lines.append(f"{name:<16}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    series: Dict[str, List[tuple]],
+    x_label: str = "size(MB)",
+    y_label: str = "top-1(%)",
+) -> str:
+    """Print figure data as aligned (x, y) pairs per named series."""
+    lines = [title, "-" * max(len(title), 8), f"{'series':<16}{x_label:>12}{y_label:>12}"]
+    for name, points in series.items():
+        for x, y in points:
+            lines.append(f"{name:<16}{x:>12.4f}{y:>12.2f}")
+    return "\n".join(lines)
+
+
+def format_assignment(
+    title: str,
+    layer_names: Sequence[str],
+    assignments: Dict[str, Sequence[int]],
+) -> str:
+    """Per-layer bit-width map (the Fig. 5 / Figs. 9-12 visualizations)."""
+    lines = [title, "-" * max(len(title), 8)]
+    algos = list(assignments)
+    header = f"{'idx':>4} {'layer':<34}" + "".join(f"{a:>10}" for a in algos)
+    lines.append(header)
+    for idx, lname in enumerate(layer_names):
+        row = f"{idx:>4} {lname:<34}"
+        for a in algos:
+            row += f"{int(assignments[a][idx]):>10}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,18 @@
+"""Hessian tooling: HvP, Hutchinson traces, exact blocks (for validation)."""
+
+from .exact import exact_hessian_block
+from .flatten import gather_grads, gather_weights, loss_and_grads, scatter_weights
+from .hutchinson import hutchinson_layer_traces
+from .hvp import cross_vhv, hvp, vhv
+
+__all__ = [
+    "gather_weights",
+    "scatter_weights",
+    "gather_grads",
+    "loss_and_grads",
+    "hvp",
+    "vhv",
+    "cross_vhv",
+    "hutchinson_layer_traces",
+    "exact_hessian_block",
+]

@@ -1,0 +1,51 @@
+"""Exact (dense) Hessian blocks for tiny networks.
+
+Building ``H_ii`` or ``H_ij`` column-by-column costs two gradient passes per
+column, so this is only for small layers in small models — used by unit
+tests to validate both the HvP machinery and CLADO's forward-only
+sensitivity estimates against ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .hvp import hvp
+
+__all__ = ["exact_hessian_block"]
+
+
+def exact_hessian_block(
+    model,
+    criterion,
+    layers: Sequence,
+    x: np.ndarray,
+    y: np.ndarray,
+    layer_i: int,
+    layer_j: Optional[int] = None,
+    eps: float = 1e-4,
+    max_dim: int = 600,
+) -> np.ndarray:
+    """Dense ``H_ij = d^2 L / dw_i dw_j`` (``H_ii`` when ``layer_j is None``).
+
+    Column ``c`` is the layer-``i`` block of ``H e_c`` with ``e_c`` a basis
+    vector on layer ``j``.
+    """
+    if layer_j is None:
+        layer_j = layer_i
+    d_i = layers[layer_i].weight.size
+    d_j = layers[layer_j].weight.size
+    if max(d_i, d_j) > max_dim:
+        raise ValueError(
+            f"layer dims ({d_i}, {d_j}) exceed max_dim={max_dim}; "
+            "exact Hessians are for tiny test networks only"
+        )
+    block = np.zeros((d_i, d_j))
+    for col in range(d_j):
+        basis = np.zeros(d_j)
+        basis[col] = 1.0
+        hv = hvp(model, criterion, layers, x, y, {layer_j: basis}, eps=eps)
+        block[:, col] = hv[layer_i]
+    return block

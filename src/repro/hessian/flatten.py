@@ -1,0 +1,52 @@
+"""Flatten/scatter helpers for per-layer parameter vectors."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["gather_weights", "scatter_weights", "gather_grads", "loss_and_grads"]
+
+
+def gather_weights(layers: Sequence) -> List[np.ndarray]:
+    """Copy each searched layer's weight as a flat float64 vector."""
+    return [layer.weight.data.astype(np.float64).ravel().copy() for layer in layers]
+
+
+def scatter_weights(layers: Sequence, flats: Sequence[np.ndarray]) -> None:
+    """Write flat vectors back into the layers' weight tensors."""
+    if len(layers) != len(flats):
+        raise ValueError("layers / flats length mismatch")
+    for layer, flat in zip(layers, flats):
+        shape = layer.weight.data.shape
+        if flat.size != layer.weight.size:
+            raise ValueError(
+                f"flat size {flat.size} != weight size {layer.weight.size}"
+            )
+        layer.weight.data = np.asarray(flat, dtype=layer.weight.data.dtype).reshape(
+            shape
+        )
+
+
+def gather_grads(layers: Sequence) -> List[np.ndarray]:
+    """Collect flat per-layer weight gradients (zeros where grad is None)."""
+    grads = []
+    for layer in layers:
+        if layer.weight.grad is None:
+            grads.append(np.zeros(layer.weight.size))
+        else:
+            grads.append(layer.weight.grad.astype(np.float64).ravel().copy())
+    return grads
+
+
+def loss_and_grads(
+    model, criterion, layers: Sequence, x: np.ndarray, y: np.ndarray
+) -> Tuple[float, List[np.ndarray]]:
+    """One forward/backward pass; returns loss and per-layer flat gradients."""
+    model.eval()
+    model.zero_grad()
+    logits = model.forward(x)
+    loss = criterion.forward(logits, y)
+    model.backward(criterion.backward())
+    return loss, gather_grads(layers)

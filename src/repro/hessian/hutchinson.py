@@ -1,0 +1,47 @@
+"""Hutchinson stochastic trace estimation (the HAWQ-V2/V3 sensitivity).
+
+HAWQ-V3 scores layer ``i`` by ``mean(trace(H_ii)) * ||Q(w_i, b) - w_i||^2``
+with the trace estimated as ``E_z[z^T H z]`` over Rademacher probes ``z``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .hvp import hvp
+
+__all__ = ["hutchinson_layer_traces"]
+
+
+def hutchinson_layer_traces(
+    model,
+    criterion,
+    layers: Sequence,
+    x: np.ndarray,
+    y: np.ndarray,
+    probes: int = 8,
+    seed: int = 0,
+    eps: Optional[float] = None,
+) -> np.ndarray:
+    """Estimate ``trace(H_ii)`` for every searched layer.
+
+    One HvP per probe covers *all* layers simultaneously: the probe vector
+    has a Rademacher block on every layer, and ``z_i^T (Hz)_i`` estimates
+    the trace of the diagonal block ``H_ii`` (cross-block terms vanish in
+    expectation because the blocks are independent).
+    """
+    if probes <= 0:
+        raise ValueError("probes must be positive")
+    rng = np.random.default_rng(seed)
+    estimates = np.zeros(len(layers))
+    for _ in range(probes):
+        direction = {
+            idx: rng.choice([-1.0, 1.0], size=layer.weight.size)
+            for idx, layer in enumerate(layers)
+        }
+        hv = hvp(model, criterion, layers, x, y, direction, eps=eps)
+        for idx in range(len(layers)):
+            estimates[idx] += float(direction[idx] @ hv[idx])
+    return estimates / probes

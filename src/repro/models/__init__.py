@@ -1,0 +1,37 @@
+"""Scaled model zoo mirroring the paper's five model families."""
+
+from .mobilenet import MobileNetS, mobilenet_s
+from .regnet import RegNetS, regnet_s
+from .registry import (
+    MODEL_REGISTRY,
+    QuantizableLayer,
+    build_model,
+    layer_index_map,
+    quantizable_layers,
+)
+from .resnet import ResNet, resnet_s20, resnet_s34, resnet_s50
+from .vit import ViTS, vit_s
+from .zoo import TrainConfig, cache_dir, evaluate_model, get_pretrained, train_model
+
+__all__ = [
+    "ResNet",
+    "resnet_s20",
+    "resnet_s34",
+    "resnet_s50",
+    "MobileNetS",
+    "mobilenet_s",
+    "RegNetS",
+    "regnet_s",
+    "ViTS",
+    "vit_s",
+    "MODEL_REGISTRY",
+    "QuantizableLayer",
+    "build_model",
+    "quantizable_layers",
+    "layer_index_map",
+    "TrainConfig",
+    "train_model",
+    "evaluate_model",
+    "get_pretrained",
+    "cache_dir",
+]

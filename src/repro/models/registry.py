@@ -1,0 +1,127 @@
+"""Model registry and quantizable-layer indexing (Appendix A analogue).
+
+The registry maps model names to constructors plus a *quantization policy*:
+which Conv2d/Linear weights participate in mixed-precision search.  The
+policies mirror the paper's per-model layer-index tables:
+
+- ResNet-34/50 and RegNet: all stage convolutions including downsample
+  projections; the stem convolution and the final classifier stay at the
+  8-bit anchor precision (their bytes still count toward model size).
+- MobileNetV3: stem + every block convolution + the squeeze-excite
+  fully-connected pair (``...block.2.fc1/fc2`` in the paper's map) + head.
+- ViT: the encoder projections only (query/key/value/output dense and the
+  MLP intermediate/output dense, exactly the 6-per-block set of Appendix A).
+- ResNet-20 (Table 2 model): every conv plus the final fc, matching the
+  ``module.fc`` entries in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..nn import Conv2d, Linear, Module
+from .mobilenet import mobilenet_s
+from .regnet import regnet_s
+from .resnet import resnet_s20, resnet_s34, resnet_s50
+from .vit import vit_s
+
+__all__ = [
+    "QuantizableLayer",
+    "MODEL_REGISTRY",
+    "build_model",
+    "quantizable_layers",
+    "layer_index_map",
+]
+
+
+@dataclass
+class QuantizableLayer:
+    """One weight tensor participating in the MPQ search."""
+
+    index: int
+    name: str
+    module: Module
+
+    @property
+    def weight(self):
+        return self.module.weight
+
+    @property
+    def num_params(self) -> int:
+        """``|w^(i)|`` in the paper's notation."""
+        return self.module.weight.size
+
+
+def _is_weight_layer(module: Module) -> bool:
+    return isinstance(module, (Conv2d, Linear))
+
+
+def _policy_cnn_body(name: str, model_name: str) -> bool:
+    """Stage convs + downsamples; stem and classifier excluded."""
+    del model_name
+    return not (name.startswith("stem.") or name in ("fc", "classifier"))
+
+
+def _policy_mobilenet(name: str, model_name: str) -> bool:
+    """Stem through head; classifier linears excluded."""
+    del model_name
+    return name not in ("pre_classifier", "classifier")
+
+
+def _policy_vit(name: str, model_name: str) -> bool:
+    """Encoder projections only (paper's ViT table)."""
+    del model_name
+    return name.startswith("layer.")
+
+
+def _policy_all(name: str, model_name: str) -> bool:
+    del name, model_name
+    return True
+
+
+@dataclass(frozen=True)
+class _ModelEntry:
+    builder: Callable[..., Module]
+    policy: Callable[[str, str], bool]
+    paper_model: str
+
+
+MODEL_REGISTRY: Dict[str, _ModelEntry] = {
+    "resnet_s20": _ModelEntry(resnet_s20, _policy_all, "ResNet-20 (Table 2)"),
+    "resnet_s34": _ModelEntry(resnet_s34, _policy_cnn_body, "ResNet-34"),
+    "resnet_s50": _ModelEntry(resnet_s50, _policy_cnn_body, "ResNet-50"),
+    "mobilenet_s": _ModelEntry(mobilenet_s, _policy_mobilenet, "MobileNetV3-Large"),
+    "regnet_s": _ModelEntry(regnet_s, _policy_cnn_body, "RegNet-3.2GF"),
+    "vit_s": _ModelEntry(vit_s, _policy_vit, "ViT-base"),
+}
+
+
+def build_model(name: str, num_classes: int = 10, **kwargs) -> Module:
+    """Construct a registered model (deterministic given its default seed)."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[name].builder(num_classes=num_classes, **kwargs)
+
+
+def quantizable_layers(model: Module, model_name: str) -> List[QuantizableLayer]:
+    """Enumerate the MPQ search space of ``model`` in deterministic order."""
+    if model_name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {model_name!r}")
+    policy = MODEL_REGISTRY[model_name].policy
+    layers: List[QuantizableLayer] = []
+    for name, module in model.named_modules():
+        if not name or not _is_weight_layer(module):
+            continue
+        if policy(name, model_name):
+            layers.append(QuantizableLayer(len(layers), name, module))
+    if not layers:
+        raise RuntimeError(f"no quantizable layers found for {model_name!r}")
+    return layers
+
+
+def layer_index_map(model: Module, model_name: str) -> Dict[int, str]:
+    """Index → layer-name table, the Appendix A figure for our models."""
+    return {q.index: q.name for q in quantizable_layers(model, model_name)}

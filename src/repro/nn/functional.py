@@ -1,0 +1,170 @@
+"""Stateless numerical kernels shared by the layer classes.
+
+The convolution kernels use an im2col formulation: patches are gathered with
+``numpy.lib.stride_tricks.as_strided`` (zero-copy view) and the convolution
+itself becomes a single matmul, which is the only way to get acceptable CPU
+throughput for the ``O((|B|I)^2)`` forward sweeps CLADO performs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "softmax",
+    "log_softmax",
+]
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[np.ndarray, Tuple[int, int]]:
+    """Gather sliding windows of ``x`` into a patch tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C, kh, kw, OH, OW)``.  It is a contiguous copy,
+        safe to reshape for the matmul.
+    (OH, OW):
+        Spatial output size.
+    """
+    n, c, h, w = x.shape
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"convolution output would be empty: input {h}x{w}, "
+            f"kernel {kh}x{kw}, stride {stride}, pad {pad}"
+        )
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    s_n, s_c, s_h, s_w = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(s_n, s_c, s_h, s_w, s_h * stride, s_w * stride),
+        writeable=False,
+    )
+    return np.ascontiguousarray(windows), (oh, ow)
+
+
+def col2im(
+    dcols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add patch gradients back to the input layout.
+
+    Inverse (adjoint) of :func:`im2col`.  ``dcols`` has shape
+    ``(N, C, kh, kw, OH, OW)``.
+    """
+    n, c, h, w = x_shape
+    _, _, kh, kw, oh, ow = dcols.shape
+    dx_pad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=dcols.dtype)
+    for i in range(kh):
+        h_stop = i + stride * oh
+        for j in range(kw):
+            w_stop = j + stride * ow
+            dx_pad[:, :, i:h_stop:stride, j:w_stop:stride] += dcols[:, :, i, j]
+    if pad:
+        return dx_pad[:, :, pad:-pad, pad:-pad]
+    return dx_pad
+
+
+def conv2d_forward(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    stride: int,
+    pad: int,
+    groups: int,
+) -> Tuple[np.ndarray, Tuple]:
+    """Grouped 2-D convolution.
+
+    Parameters
+    ----------
+    x:
+        ``(N, C_in, H, W)``.
+    weight:
+        ``(C_out, C_in // groups, kh, kw)``.
+    bias:
+        ``(C_out,)`` or ``None``.
+
+    Returns
+    -------
+    out, cache:
+        ``out`` has shape ``(N, C_out, OH, OW)``; ``cache`` carries what the
+        backward pass needs.
+    """
+    n, c_in, _, _ = x.shape
+    c_out, c_in_g, kh, kw = weight.shape
+    if c_in != c_in_g * groups:
+        raise ValueError(
+            f"input channels {c_in} incompatible with weight "
+            f"{weight.shape} and groups={groups}"
+        )
+    cols, (oh, ow) = im2col(x, kh, kw, stride, pad)
+    # (N, G, C_in/G * kh * kw, OH*OW)
+    cols_g = cols.reshape(n, groups, c_in_g * kh * kw, oh * ow)
+    w_g = weight.reshape(groups, c_out // groups, c_in_g * kh * kw)
+    # Batched matmul over the patch dimension: (G,O,P) @ (N,G,P,L) -> (N,G,O,L).
+    # (matmul dispatches to BLAS; ~3x faster than the equivalent einsum here.)
+    out = np.matmul(w_g, cols_g)
+    out = out.reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out += bias.reshape(1, c_out, 1, 1)
+    cache = (x.shape, cols_g, weight.shape, stride, pad, groups, (oh, ow))
+    return out, cache
+
+
+def conv2d_backward(
+    grad_out: np.ndarray, weight: np.ndarray, cache: Tuple
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradients of the grouped convolution.
+
+    Returns ``(dx, dweight, dbias)``.
+    """
+    x_shape, cols_g, w_shape, stride, pad, groups, (oh, ow) = cache
+    n, c_in, _, _ = x_shape
+    c_out, c_in_g, kh, kw = w_shape
+    go = grad_out.reshape(n, groups, c_out // groups, oh * ow)
+    w_g = weight.reshape(groups, c_out // groups, c_in_g * kh * kw)
+    # dW: sum over batch and spatial positions, via batched matmul.
+    dw = np.matmul(go, cols_g.swapaxes(-1, -2)).sum(axis=0)
+    dw = dw.reshape(c_out, c_in_g, kh, kw)
+    dbias = grad_out.sum(axis=(0, 2, 3))
+    # dcols: (G,P,O) @ (N,G,O,L) -> (N,G,P,L), back through im2col.
+    dcols_g = np.matmul(w_g.swapaxes(-1, -2), go)
+    dcols = dcols_g.reshape(n, c_in, kh, kw, oh, ow)
+    dx = col2im(dcols, x_shape, stride, pad)
+    return dx, dw, dbias
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

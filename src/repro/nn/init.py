@@ -1,0 +1,56 @@
+"""Weight initialization helpers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that model
+construction is fully deterministic given a seed — the model zoo relies on
+this to reproduce cached checkpoints bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "xavier_uniform", "trunc_normal", "zeros", "ones"]
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:  # Linear: (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # Conv: (out, in/groups, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_normal(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """He initialization for ReLU-family networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: Tuple[int, ...]) -> np.ndarray:
+    """Glorot initialization, used for attention/MLP projections."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def trunc_normal(
+    rng: np.random.Generator, shape: Tuple[int, ...], std: float = 0.02
+) -> np.ndarray:
+    """Truncated normal (±2 std), the ViT embedding convention."""
+    values = rng.normal(0.0, std, size=shape)
+    return np.clip(values, -2.0 * std, 2.0 * std)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

@@ -1,0 +1,111 @@
+"""Optimizers and learning-rate schedules for model-zoo training and QAT."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam", "cosine_lr"]
+
+
+class _Optimizer:
+    def __init__(self, params: Sequence[Parameter], lr: float) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """SGD with classical momentum and decoupled L2 weight decay."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for idx, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay and p.data.ndim > 1:
+                # Decay only matrix/tensor weights, never norms or biases.
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel = self._velocity.get(idx)
+                if vel is None:
+                    vel = np.zeros_like(p.data)
+                vel = self.momentum * vel + grad
+                self._velocity[idx] = vel
+                grad = vel
+            p.data -= self.lr * grad
+
+
+class Adam(_Optimizer):
+    """Adam with bias correction; the default for ViT training and QAT."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for idx, p in enumerate(self.params):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay and p.data.ndim > 1:
+                grad = grad + self.weight_decay * p.data
+            m = self._m.get(idx)
+            v = self._v.get(idx)
+            if m is None:
+                m = np.zeros_like(p.data)
+                v = np.zeros_like(p.data)
+            m = b1 * m + (1 - b1) * grad
+            v = b2 * v + (1 - b2) * grad**2
+            self._m[idx], self._v[idx] = m, v
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def cosine_lr(base_lr: float, step: int, total_steps: int, warmup: int = 0) -> float:
+    """Cosine decay with optional linear warmup."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    if warmup and step < warmup:
+        return base_lr * (step + 1) / warmup
+    progress = (step - warmup) / max(1, total_steps - warmup)
+    progress = min(max(progress, 0.0), 1.0)
+    return 0.5 * base_lr * (1.0 + np.cos(np.pi * progress))

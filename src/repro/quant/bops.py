@@ -1,0 +1,95 @@
+"""Bit-operations (BOPs) accounting — the compute-budget constraint.
+
+The paper's Eq. 2 constrains model *size*; HAWQ-V3-style formulations also
+constrain *compute*, measured in BOPs: ``MACs * weight_bits * act_bits``.
+This module measures per-layer MACs with a shape probe (reusing the
+``act_quant`` input hook to observe each layer's input shape) and builds
+the per-(layer, bit) BOPs cost table that plugs into
+``MPQProblem.extra_constraints``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn import Conv2d, Linear
+
+__all__ = ["measure_macs", "bops_table", "assignment_bops"]
+
+
+class _ShapeProbe:
+    """Records the input shape while acting as the identity."""
+
+    def __init__(self) -> None:
+        self.shape = None
+
+    def __call__(self, x):
+        self.shape = x.shape
+        return x
+
+
+def measure_macs(model, layers: Sequence, input_shape=(1, 3, 32, 32)) -> np.ndarray:
+    """Per-sample multiply-accumulate counts for every searched layer.
+
+    Temporarily installs shape probes on the layers (restoring any existing
+    activation quantizers afterwards) and runs one forward pass.
+    """
+    probes = []
+    saved = []
+    for layer in layers:
+        saved.append(layer.module.act_quant)
+        probe = _ShapeProbe()
+        layer.module.act_quant = probe
+        probes.append(probe)
+    try:
+        model.eval()
+        model.forward(np.zeros(input_shape, dtype=np.float32))
+    finally:
+        for layer, old in zip(layers, saved):
+            layer.module.act_quant = old
+
+    macs = np.zeros(len(layers), dtype=np.int64)
+    for idx, (layer, probe) in enumerate(zip(layers, probes)):
+        if probe.shape is None:
+            raise RuntimeError(f"layer {layer.name} was not reached in forward")
+        module = layer.module
+        if isinstance(module, Conv2d):
+            _, _, h, w = probe.shape
+            k, s, p = module.kernel_size, module.stride, module.padding
+            oh = (h + 2 * p - k) // s + 1
+            ow = (w + 2 * p - k) // s + 1
+            per_output = (module.in_channels // module.groups) * k * k
+            macs[idx] = module.out_channels * oh * ow * per_output
+        elif isinstance(module, Linear):
+            tokens = int(np.prod(probe.shape[1:-1])) if len(probe.shape) > 2 else 1
+            macs[idx] = tokens * module.in_features * module.out_features
+        else:
+            raise TypeError(f"unsupported layer type {type(module).__name__}")
+    return macs
+
+
+def bops_table(
+    macs: np.ndarray, bits_candidates: Sequence[int], act_bits: int = 8
+) -> np.ndarray:
+    """Per-(layer, bit-choice) BOPs costs, shape ``(I, |B|)``.
+
+    BOPs of layer ``i`` at weight precision ``b``: ``MACs_i * b * act_bits``.
+    Non-decreasing in the bit index, as required by the solvers' repair
+    heuristics.
+    """
+    macs = np.asarray(macs, dtype=np.float64)
+    bits = np.asarray(list(bits_candidates), dtype=np.float64)
+    return macs[:, None] * bits[None, :] * float(act_bits)
+
+
+def assignment_bops(
+    macs: np.ndarray, bits_per_layer: Sequence[int], act_bits: int = 8
+) -> float:
+    """Total BOPs of a concrete assignment."""
+    macs = np.asarray(macs, dtype=np.float64)
+    bits = np.asarray(list(bits_per_layer), dtype=np.float64)
+    if macs.shape != bits.shape:
+        raise ValueError("macs / bits length mismatch")
+    return float((macs * bits * act_bits).sum())

@@ -1,0 +1,82 @@
+"""Scale/zero-point calibration.
+
+Following the paper (which follows MPQCO): "quantization scale factors (and
+zero points in the affine case) are determined by minimization of the MSE
+between the float32 values and their quantized values."
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .quantizers import quantize_symmetric
+
+__all__ = ["mse_optimal_scale", "affine_minmax_params", "calibrate_activations"]
+
+
+def mse_optimal_scale(
+    w: np.ndarray, bits: int, grid: int = 60, low: float = 0.2
+) -> float:
+    """Grid-search the symmetric scale minimizing ||w - Q(w)||^2.
+
+    Candidate scales sweep ``[low, 1.0] * max|w| / qmax``; for very low
+    bit-widths the optimum sits well below the max-abs scale because
+    clipping outliers is cheaper than coarsening the grid for the bulk.
+    """
+    w = np.asarray(w)
+    max_abs = float(np.abs(w).max(initial=0.0))
+    qmax = 2 ** (bits - 1) - 1
+    if max_abs == 0.0:
+        return 1.0
+    if qmax == 0:  # 1-bit signed degenerates; use max-abs scale
+        return max_abs
+    best_scale = max_abs / qmax
+    best_err = np.inf
+    for ratio in np.linspace(low, 1.0, grid):
+        scale = ratio * max_abs / qmax
+        err = float(((w - quantize_symmetric(w, bits, scale)) ** 2).sum())
+        if err < best_err:
+            best_err = err
+            best_scale = scale
+    return best_scale
+
+
+def affine_minmax_params(w: np.ndarray, bits: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-output-channel affine parameters from channel min/max ranges.
+
+    Returns ``(scale, zero_point)`` arrays of shape ``(C_out,)``.
+    """
+    flat = np.asarray(w).reshape(w.shape[0], -1)
+    w_min = flat.min(axis=1)
+    w_max = flat.max(axis=1)
+    # Grid must include zero so that zero weights stay exactly zero.
+    w_min = np.minimum(w_min, 0.0)
+    w_max = np.maximum(w_max, 0.0)
+    levels = 2**bits - 1
+    span = w_max - w_min
+    scale = np.where(span > 0, span / levels, 1.0)
+    zero_point = np.round(-w_min / scale)
+    return scale.astype(np.float64), zero_point.astype(np.float64)
+
+
+def calibrate_activations(model, layers, images, bits: int = 8) -> None:
+    """Attach calibrated 8-bit activation fake-quantizers to ``layers``.
+
+    Runs one recording pass over ``images`` to observe per-layer input
+    ranges, then freezes per-tensor symmetric scales.  ``layers`` is a list
+    of :class:`repro.models.QuantizableLayer`.
+    """
+    from .quantizers import ActivationQuantizer
+
+    quantizers = []
+    for layer in layers:
+        quant = ActivationQuantizer(bits)
+        quant.recording = True
+        layer.module.act_quant = quant
+        quantizers.append(quant)
+    model.eval()
+    model.forward(images)
+    for quant in quantizers:
+        quant.finalize()

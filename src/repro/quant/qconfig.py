@@ -1,0 +1,57 @@
+"""Quantization configuration shared by the CLADO pipeline and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["QuantConfig", "DEFAULT_BITS", "MOBILENET_BITS"]
+
+# Paper §5.1: B = {2, 4, 8} for most models, {4, 6, 8} for MobileNetV3
+# (its parameter efficiency makes 2-bit collapse uninformative).
+DEFAULT_BITS: Tuple[int, ...] = (2, 4, 8)
+MOBILENET_BITS: Tuple[int, ...] = (4, 6, 8)
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """What to quantize and how.
+
+    Attributes
+    ----------
+    bits:
+        Candidate weight bit-widths ``B`` (ascending).
+    scheme:
+        ``"symmetric"`` (per-tensor, the paper's default) or ``"affine"``
+        (per-channel, the paper's MobileNetV3/ViT variant).
+    act_bits:
+        Activation fake-quant bit-width (8 in all paper experiments);
+        ``None`` disables activation quantization.
+    """
+
+    bits: Tuple[int, ...] = DEFAULT_BITS
+    scheme: str = "symmetric"
+    act_bits: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ValueError("bits must be non-empty")
+        if list(self.bits) != sorted(set(self.bits)):
+            raise ValueError(f"bits must be strictly ascending, got {self.bits}")
+        if any(b < 1 or b > 16 for b in self.bits):
+            raise ValueError(f"bit-widths out of range: {self.bits}")
+        if self.scheme not in ("symmetric", "affine"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+
+    @property
+    def num_choices(self) -> int:
+        """``|B|`` in the paper's notation."""
+        return len(self.bits)
+
+    @property
+    def max_bits(self) -> int:
+        return max(self.bits)
+
+    @property
+    def min_bits(self) -> int:
+        return min(self.bits)

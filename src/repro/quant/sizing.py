@@ -1,0 +1,57 @@
+"""Model-size accounting (the constraint side of Eq. 2 / Eq. 11).
+
+The MPQ constraint is ``sum_i |w^(i)| * b^(i) <= C_target`` over the
+searched layers.  Reported sizes follow the paper's convention of quoting
+weight storage in MB (2^20 bytes); layers outside the search space (stem /
+classifier, when the model policy pins them) are counted at the 8-bit
+anchor precision.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "assignment_bits",
+    "assignment_bytes",
+    "uniform_bits",
+    "bytes_to_mb",
+    "budget_for_average_bits",
+]
+
+_ANCHOR_BITS = 8
+
+
+def assignment_bits(layer_sizes: Sequence[int], bits: Sequence[int]) -> int:
+    """Total weight bits of an assignment: ``sum_i |w_i| * b_i``."""
+    if len(layer_sizes) != len(bits):
+        raise ValueError("layer_sizes and bits length mismatch")
+    return int(sum(int(s) * int(b) for s, b in zip(layer_sizes, bits)))
+
+
+def assignment_bytes(layer_sizes: Sequence[int], bits: Sequence[int]) -> float:
+    return assignment_bits(layer_sizes, bits) / 8.0
+
+
+def uniform_bits(layer_sizes: Sequence[int], b: int) -> int:
+    """Size in bits of uniform-precision quantization at ``b`` bits."""
+    return int(sum(int(s) for s in layer_sizes)) * int(b)
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    return float(n_bytes) / 2**20
+
+
+def budget_for_average_bits(layer_sizes: Sequence[int], avg_bits: float) -> int:
+    """Size budget (in bits) equivalent to an average of ``avg_bits``/weight.
+
+    The paper reports constraints as model sizes "corresponding to b-bit
+    UPQ"; this helper converts that convention into a bit budget, allowing
+    fractional averages for sweep points between uniform precisions.
+    """
+    if avg_bits <= 0:
+        raise ValueError("avg_bits must be positive")
+    total_params = sum(int(s) for s in layer_sizes)
+    return int(np.floor(total_params * float(avg_bits)))

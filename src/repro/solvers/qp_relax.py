@@ -1,0 +1,190 @@
+"""Convex QP relaxation of the IQP (the branch-and-bound bounding step).
+
+Relaxing the one-hot constraint ``alpha^(i) in {0,1}^|B|`` to the simplex
+``alpha^(i) >= 0, sum alpha^(i) = 1`` yields a convex QP whenever the
+sensitivity matrix is PSD (which is exactly why the paper's PSD projection
+matters for solver behaviour, §7).  The relaxation is solved with SLSQP;
+for PSD objectives the KKT point it finds is the global minimum and
+therefore a valid lower bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+from scipy import optimize
+
+from .problem import MPQProblem
+
+__all__ = ["RelaxationResult", "solve_relaxation"]
+
+
+@dataclass
+class RelaxationResult:
+    """Continuous relaxation solution at a branch-and-bound node."""
+
+    alpha: np.ndarray  # full-length (|B|I) vector incl. fixed one-hots
+    lower_bound: float
+    feasible: bool
+    converged: bool
+    message: str = ""
+
+
+def _reduced_quadratic(
+    g_sym: np.ndarray, fixed_alpha: np.ndarray, free_mask: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """Eliminate fixed variables from ``x^T G x``.
+
+    With x = [f (free); a (fixed one-hot values)], the objective becomes
+    ``f^T G_ff f + 2 (G_fa a)^T f + a^T G_aa a``.
+    """
+    g_ff = g_sym[np.ix_(free_mask, free_mask)]
+    g_fa = g_sym[np.ix_(free_mask, ~free_mask)]
+    a = fixed_alpha[~free_mask]
+    lin = g_fa @ a
+    const = float(a @ g_sym[np.ix_(~free_mask, ~free_mask)] @ a)
+    return g_ff, lin, const
+
+
+def solve_relaxation(
+    problem: MPQProblem,
+    fixed: Optional[Dict[int, int]] = None,
+    warm_start: Optional[np.ndarray] = None,
+    max_iter: int = 200,
+) -> RelaxationResult:
+    """Solve the simplex + knapsack relaxation, honouring fixed layers.
+
+    Parameters
+    ----------
+    fixed:
+        Mapping ``layer index -> choice index`` of variables pinned by the
+        branch-and-bound tree.
+    warm_start:
+        Optional full-length alpha to initialize the free variables from.
+    """
+    fixed = fixed or {}
+    nb = problem.num_choices
+    nv = problem.num_vars
+    g_sym = 0.5 * (problem.sensitivity + problem.sensitivity.T)
+    sizes = problem.size_vector().astype(np.float64)
+
+    fixed_alpha = np.zeros(nv)
+    free_var = np.ones(nv, dtype=bool)
+    for layer, m in fixed.items():
+        block = slice(layer * nb, (layer + 1) * nb)
+        free_var[block] = False
+        fixed_alpha[layer * nb + m] = 1.0
+
+    free_layers = [i for i in range(problem.num_layers) if i not in fixed]
+    fixed_size = float(
+        sum(
+            problem.layer_sizes[i] * problem.bits[m]
+            for i, m in fixed.items()
+        )
+    )
+    remaining = float(problem.budget_bits) - fixed_size
+    min_free = float(
+        sum(problem.layer_sizes[i] for i in free_layers) * min(problem.bits)
+    )
+    if remaining < min_free - 1e-9:
+        return RelaxationResult(
+            alpha=fixed_alpha,
+            lower_bound=np.inf,
+            feasible=False,
+            converged=True,
+            message="budget infeasible under fixed assignments",
+        )
+    # Extra linear budgets (e.g. BOPs): precheck and collect reduced rows.
+    extra_rows = []
+    for coeffs, bound in problem.extra_constraints:
+        fixed_part = float(sum(coeffs[i, m] for i, m in fixed.items()))
+        min_part = float(sum(coeffs[i].min() for i in free_layers))
+        if fixed_part + min_part > bound + 1e-9:
+            return RelaxationResult(
+                alpha=fixed_alpha,
+                lower_bound=np.inf,
+                feasible=False,
+                converged=True,
+                message="extra constraint infeasible under fixed assignments",
+            )
+        extra_rows.append((coeffs.ravel()[free_var], bound - fixed_part))
+    if not free_layers:
+        obj = float(fixed_alpha @ g_sym @ fixed_alpha)
+        return RelaxationResult(
+            alpha=fixed_alpha, lower_bound=obj, feasible=True, converged=True
+        )
+
+    g_ff, lin, const = _reduced_quadratic(g_sym, fixed_alpha, free_var)
+    sizes_f = sizes[free_var]
+    n_free = int(free_var.sum())
+
+    def objective(x: np.ndarray) -> float:
+        return float(x @ g_ff @ x + 2.0 * lin @ x + const)
+
+    def gradient(x: np.ndarray) -> np.ndarray:
+        return 2.0 * (g_ff @ x + lin)
+
+    # Per-free-layer simplex equalities.
+    eq_rows = np.zeros((len(free_layers), n_free))
+    for row, _layer in enumerate(free_layers):
+        eq_rows[row, row * nb : (row + 1) * nb] = 1.0
+
+    # Vector-valued constraints: one callback for all simplex equalities,
+    # one for the knapsack — far fewer Python round-trips inside SLSQP.
+    constraints = [
+        {
+            "type": "eq",
+            "fun": lambda x: eq_rows @ x - 1.0,
+            "jac": lambda x: eq_rows,
+        },
+        {
+            "type": "ineq",
+            "fun": lambda x: np.array([remaining - sizes_f @ x]),
+            "jac": lambda x: -sizes_f[None, :],
+        },
+    ]
+    for row, slack in extra_rows:
+        constraints.append(
+            {
+                "type": "ineq",
+                "fun": lambda x, r=row, s=slack: np.array([s - r @ x]),
+                "jac": lambda x, r=row: -r[None, :],
+            }
+        )
+
+    if warm_start is not None and np.asarray(warm_start).shape == (nv,):
+        x0 = np.asarray(warm_start, dtype=np.float64)[free_var]
+    else:
+        x0 = np.full(n_free, 1.0 / nb)
+    # Make the start feasible w.r.t. the knapsack by biasing to low bits.
+    if sizes_f @ x0 > remaining:
+        x0 = np.zeros(n_free)
+        x0[::nb] = 1.0  # lowest bit-width of each free layer
+
+    res = optimize.minimize(
+        objective,
+        x0,
+        jac=gradient,
+        bounds=[(0.0, 1.0)] * n_free,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iter, "ftol": 1e-12},
+    )
+    alpha = fixed_alpha.copy()
+    alpha[free_var] = np.clip(res.x, 0.0, 1.0)
+    # Renormalize each free simplex block against solver round-off.
+    for row, layer in enumerate(free_layers):
+        block = slice(layer * nb, (layer + 1) * nb)
+        total = alpha[block].sum()
+        if total > 0:
+            alpha[block] /= total
+    lower = objective(np.asarray(res.x, dtype=np.float64))
+    return RelaxationResult(
+        alpha=alpha,
+        lower_bound=float(lower),
+        feasible=True,
+        converged=bool(res.success),
+        message=str(res.message),
+    )

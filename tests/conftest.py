@@ -1,0 +1,14 @@
+"""Pytest configuration: shared fixtures and import path for helpers."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

@@ -1,0 +1,86 @@
+"""Shared test utilities: numeric gradient checking and tiny fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import CrossEntropyLoss, Module
+
+
+def numeric_param_grad(
+    model: Module,
+    criterion: CrossEntropyLoss,
+    x: np.ndarray,
+    y: np.ndarray,
+    param,
+    indices: np.ndarray,
+    eps: float = 1e-3,
+) -> np.ndarray:
+    # eps is sized for float32 parameters: large enough that the float32
+    # forward noise (~1e-6 in the loss) stays well below eps * |grad|.
+    """Central-difference gradient of the loss at selected parameter entries."""
+    flat = param.data.ravel()
+    grads = np.zeros(len(indices))
+    for out_idx, i in enumerate(indices):
+        old = flat[i]
+        flat[i] = old + eps
+        loss_plus = criterion(model.forward(x), y)
+        flat[i] = old - eps
+        loss_minus = criterion(model.forward(x), y)
+        flat[i] = old
+        grads[out_idx] = (loss_plus - loss_minus) / (2 * eps)
+    return grads
+
+
+def check_model_gradients(
+    model: Module,
+    x: np.ndarray,
+    y: np.ndarray,
+    params_to_check=None,
+    samples_per_param: int = 6,
+    rtol: float = 2e-2,
+    atol: float = 2e-3,
+    seed: int = 0,
+) -> None:
+    """Assert analytic gradients match finite differences on random entries."""
+    criterion = CrossEntropyLoss()
+    model.eval()
+    loss = criterion(model.forward(x), y)
+    assert np.isfinite(loss)
+    model.zero_grad()
+    model.backward(criterion.backward())
+    rng = np.random.default_rng(seed)
+    params = params_to_check or model.parameters()
+    for param in params:
+        assert param.grad is not None, f"no grad for {param.name}"
+        n = param.data.size
+        indices = rng.choice(n, size=min(samples_per_param, n), replace=False)
+        numeric = numeric_param_grad(model, criterion, x, y, param, indices)
+        analytic = param.grad.ravel()[indices]
+        np.testing.assert_allclose(
+            analytic,
+            numeric,
+            rtol=rtol,
+            atol=atol,
+            err_msg=f"gradient mismatch in {param.name}",
+        )
+
+
+def numeric_input_grad(
+    forward, x: np.ndarray, grad_out: np.ndarray, eps: float = 1e-4, samples: int = 8,
+    seed: int = 0,
+) -> tuple:
+    """Numeric <dL/dx, picked entries> where L = sum(forward(x) * grad_out)."""
+    rng = np.random.default_rng(seed)
+    flat = x.ravel()
+    indices = rng.choice(flat.size, size=min(samples, flat.size), replace=False)
+    grads = np.zeros(len(indices))
+    for out_idx, i in enumerate(indices):
+        old = flat[i]
+        flat[i] = old + eps
+        plus = float((forward(x) * grad_out).sum())
+        flat[i] = old - eps
+        minus = float((forward(x) * grad_out).sum())
+        flat[i] = old
+        grads[out_idx] = (plus - minus) / (2 * eps)
+    return indices, grads

@@ -1,0 +1,51 @@
+"""CLI smoke tests (argument parsing + the cheap commands)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_allocate_defaults(self):
+        args = build_parser().parse_args(["allocate"])
+        assert args.model == "resnet_s34"
+        assert args.algorithm == "clado"
+        assert args.avg_bits == 4.0
+
+    def test_allocate_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate", "--algorithm", "magic"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet_s34" in out
+        assert "quantizable layers" in out
+
+    def test_models_verbose_lists_layers(self, capsys):
+        assert main(["models", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "stages.0" in out or "layer.0" in out
+
+    def test_pretrain_subset(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        import repro.models.zoo as zoo
+        from repro.models.zoo import TrainConfig
+
+        monkeypatch.setitem(
+            zoo._RECIPES, "resnet_s20", TrainConfig(epochs=1, n_train=64, n_val=32)
+        )
+        assert main(["pretrain", "--models", "resnet_s20"]) == 0
+        assert "val top-1" in capsys.readouterr().out

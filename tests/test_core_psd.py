@@ -1,0 +1,77 @@
+"""PSD projection tests, including hypothesis property checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import min_eigenvalue, psd_project, psd_violation
+
+
+def random_symmetric(seed, n):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n))
+    return 0.5 * (a + a.T)
+
+
+class TestPSDProject:
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_output_is_psd(self, seed, n):
+        m = random_symmetric(seed, n)
+        p = psd_project(m)
+        assert min_eigenvalue(p) >= -1e-10
+
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, seed, n):
+        m = random_symmetric(seed, n)
+        p = psd_project(m)
+        np.testing.assert_allclose(psd_project(p), p, atol=1e-10)
+
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_psd_input_unchanged(self, seed, n):
+        m = random_symmetric(seed, n)
+        psd = m @ m.T  # PSD by construction (m symmetric -> m m^T = m^2)
+        np.testing.assert_allclose(psd_project(psd), psd, atol=1e-8)
+
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_projection_is_nearest_among_samples(self, seed, n):
+        """||M - P(M)||_F <= ||M - Q||_F for random PSD Q (necessary cond.)."""
+        m = random_symmetric(seed, n)
+        p = psd_project(m)
+        dist_p = np.linalg.norm(m - p)
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(5):
+            b = rng.normal(size=(n, n))
+            q = b @ b.T
+            assert dist_p <= np.linalg.norm(m - q) + 1e-9
+
+    def test_asymmetric_input_symmetrized(self):
+        m = np.array([[1.0, 2.0], [0.0, 1.0]])
+        p = psd_project(m)
+        np.testing.assert_allclose(p, p.T)
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            psd_project(np.zeros((2, 3)))
+
+    def test_known_example(self):
+        m = np.diag([2.0, -3.0])
+        np.testing.assert_allclose(psd_project(m), np.diag([2.0, 0.0]), atol=1e-12)
+
+
+class TestDiagnostics:
+    def test_min_eigenvalue(self):
+        assert min_eigenvalue(np.diag([3.0, -1.0])) == pytest.approx(-1.0)
+
+    def test_psd_violation_fractions(self):
+        neg, total = psd_violation(np.diag([3.0, -1.0]))
+        assert neg == pytest.approx(1.0)
+        assert total == pytest.approx(4.0)
+
+    def test_psd_violation_zero_for_psd(self):
+        neg, _ = psd_violation(np.eye(4))
+        assert neg == 0.0

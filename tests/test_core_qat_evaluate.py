@@ -1,0 +1,134 @@
+"""QAT fine-tuning and evaluation-path tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    QATConfig,
+    evaluate_assignment,
+    qat_finetune,
+    remove_activation_quant,
+    setup_activation_quant,
+)
+from repro.data import make_dataset
+from repro.models import build_model, quantizable_layers
+from repro.quant import QuantConfig, QuantizedWeightTable
+
+
+@pytest.fixture(scope="module")
+def trained_tiny():
+    """A briefly trained tiny model (module-scoped: training is not free)."""
+    from repro.models.zoo import TrainConfig, train_model
+
+    ds = make_dataset(num_classes=4, image_size=16)
+    model = build_model("resnet_s20", num_classes=4)
+    train_model(model, ds, TrainConfig(epochs=2, n_train=256, n_val=64))
+    model.eval()
+    x, y = ds.splits(256, 64)[0]
+    return model, x, y
+
+
+CFG = QuantConfig(bits=(2, 4, 8))
+
+
+class TestQAT:
+    def test_qat_improves_quantized_accuracy(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        bits = np.full(len(layers), 2)
+        table = QuantizedWeightTable(layers, CFG)
+        loss_before, acc_before = evaluate_assignment(model, table, bits, x, y)
+
+        import copy
+
+        state = model.state_dict()
+        qat_finetune(
+            model, layers, bits, x, y,
+            QATConfig(epochs=3, batch_size=64, lr=5e-3),
+        )
+        table_after = QuantizedWeightTable(layers, CFG)
+        loss_after, acc_after = evaluate_assignment(model, table_after, bits, x, y)
+        model.load_state_dict(state)  # restore for other tests
+        assert loss_after < loss_before
+
+    def test_master_weights_are_float_after_qat(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        state = model.state_dict()
+        bits = np.full(len(layers), 4)
+        qat_finetune(model, layers, bits, x[:64], y[:64], QATConfig(epochs=1))
+        # Master weights should NOT sit exactly on a 4-bit grid.
+        w = layers[0].weight.data.ravel()
+        from repro.quant import quantize_weight
+
+        q = quantize_weight(w, 4).ravel()
+        assert np.abs(w - q).max() > 0
+        model.load_state_dict(state)
+
+    def test_length_mismatch_raises(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        with pytest.raises(ValueError):
+            qat_finetune(model, layers, [4], x, y, QATConfig(epochs=1))
+
+    def test_unknown_scheme_raises(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        bits = np.full(len(layers), 4)
+        with pytest.raises(ValueError):
+            qat_finetune(
+                model, layers, bits, x[:32], y[:32],
+                QATConfig(epochs=1), scheme="hex",
+            )
+
+
+class TestActivationQuant:
+    def test_setup_attaches_calibrated_quantizers(self, trained_tiny):
+        model, x, _ = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        setup_activation_quant(model, layers, x[:16], bits=8)
+        try:
+            for layer in layers:
+                assert layer.module.act_quant is not None
+                assert layer.module.act_quant.scale is not None
+        finally:
+            remove_activation_quant(layers)
+
+    def test_8bit_act_quant_mild_effect(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        table = QuantizedWeightTable(layers, CFG)
+        bits = np.full(len(layers), 8)
+        _, acc_fp = evaluate_assignment(model, table, bits, x[:64], y[:64])
+        setup_activation_quant(model, layers, x[:16], bits=8)
+        try:
+            _, acc_q = evaluate_assignment(model, table, bits, x[:64], y[:64])
+        finally:
+            remove_activation_quant(layers)
+        assert abs(acc_fp - acc_q) < 0.15
+
+    def test_none_bits_removes(self, trained_tiny):
+        model, x, _ = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        setup_activation_quant(model, layers, x[:8], bits=8)
+        setup_activation_quant(model, layers, x[:8], bits=None)
+        assert all(layer.module.act_quant is None for layer in layers)
+
+
+class TestEvaluateAssignment:
+    def test_weights_restored(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        table = QuantizedWeightTable(layers, CFG)
+        before = [layer.weight.data.copy() for layer in layers]
+        evaluate_assignment(model, table, [2] * len(layers), x[:32], y[:32])
+        for layer, b in zip(layers, before):
+            np.testing.assert_array_equal(layer.weight.data, b)
+
+    def test_lower_bits_worse_or_equal(self, trained_tiny):
+        model, x, y = trained_tiny
+        layers = quantizable_layers(model, "resnet_s20")
+        table = QuantizedWeightTable(layers, CFG)
+        loss8, _ = evaluate_assignment(model, table, [8] * len(layers), x, y)
+        loss2, _ = evaluate_assignment(model, table, [2] * len(layers), x, y)
+        assert loss2 > loss8

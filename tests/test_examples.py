@@ -1,0 +1,28 @@
+"""Examples must at least parse/compile and expose a main() entry point."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} lacks a module docstring"
+    names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in names, f"{path.name} lacks a main()"
+
+
+def test_at_least_three_domain_examples():
+    assert len(EXAMPLES) >= 4  # quickstart + >=3 scenario scripts

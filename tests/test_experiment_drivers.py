@@ -1,0 +1,172 @@
+"""Driver-level tests for every table/figure experiment, at tiny scale.
+
+These run the same code paths as the benchmark harness but with a
+throwaway cache, one-epoch zoo models, and 8-sample sensitivity sets, so
+the whole file stays in tens of seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    Scale,
+    format_assignments,
+    format_fig1,
+    format_fig4,
+    format_fig6,
+    format_fig7,
+    format_runtime,
+    format_table1,
+    format_table2,
+    run_assignments,
+    run_fig1,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_runtime,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    import os
+
+    import repro.models.zoo as zoo
+    from repro.models.zoo import TrainConfig
+
+    cache = tmp_path_factory.mktemp("cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache)
+    saved = dict(zoo._RECIPES)
+    for name in list(zoo._RECIPES):
+        zoo._RECIPES[name] = TrainConfig(epochs=1, n_train=96, n_val=32)
+    scale = Scale(
+        name="test",
+        sensitivity_set_size=8,
+        val_size=48,
+        table1_avg_bits=(3.0, 5.0),
+        pareto_avg_bits=(3.0, 5.0),
+        fig4_set_sizes=(8,),
+        fig4_replicates=2,
+        qat_epochs=1,
+        qat_train_size=64,
+        hawq_probes=1,
+        solver_time_limit=3.0,
+    )
+    yield ExperimentContext(scale)
+    zoo._RECIPES.clear()
+    zoo._RECIPES.update(saved)
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
+class TestTable1Driver:
+    def test_single_model(self, ctx):
+        results = run_table1(ctx, models=["resnet_s20"])
+        result = results["resnet_s20"]
+        assert set(result.accuracy) == {"hawq", "mpqco", "clado_star", "clado"}
+        assert len(result.sizes_mb) == 2
+        text = format_table1(ctx, results)
+        assert "resnet_s20" in text and "CLADO" in text
+
+    def test_cached_second_call(self, ctx):
+        first = run_table1(ctx, models=["resnet_s20"])
+        second = run_table1(ctx, models=["resnet_s20"])
+        assert (
+            first["resnet_s20"].accuracy == second["resnet_s20"].accuracy
+        )
+
+
+class TestTable2Driver:
+    def test_rows_and_formatting(self, ctx):
+        rows = run_table2(ctx, "resnet_s20")
+        assert len(rows) >= 5
+        for row in rows:
+            assert np.isfinite(row.vhv_fast) and np.isfinite(row.vhv_exact)
+            assert row.bits in (2, 4)
+        text = format_table2(rows)
+        assert "vHv" in text
+
+    def test_explicit_layer_picks(self, ctx):
+        rows = run_table2(
+            ctx, "resnet_s20", layer_picks=[(0, 2), (1, 4)], use_cache=False
+        )
+        assert len(rows) == 2
+        assert rows[0].bits == 2 and rows[1].bits == 4
+
+
+class TestFig1Driver:
+    def test_pair_study(self, ctx):
+        study = run_fig1(ctx, "resnet_s20", bits=2, top_k=4)
+        assert len(study.layer_names) == 4
+        assert study.cross.shape == (4, 4)
+        i, j = study.best_pair_full
+        assert i < j
+        text = format_fig1(study)
+        assert "pick" in text
+
+    def test_full_score_never_worse_than_diag_pick(self, ctx):
+        study = run_fig1(ctx, "resnet_s20", bits=2, top_k=5)
+        assert study.pair_score_full(
+            *study.best_pair_full
+        ) <= study.pair_score_full(*study.best_pair_diag) + 1e-12
+
+    def test_invalid_bits(self, ctx):
+        with pytest.raises(ValueError):
+            run_fig1(ctx, "resnet_s20", bits=3)
+
+
+class TestFig4Driver:
+    def test_replicate_structure(self, ctx):
+        study = run_fig4(
+            ctx, "resnet_s20", algorithms=("mpqco", "clado"), avg_bits=3.0
+        )
+        assert study.set_sizes == [8]
+        for algo in ("mpqco", "clado"):
+            assert len(study.accuracy[algo]["8"]) == 2
+        q25, q50, q75 = study.quartiles("clado", 8)
+        assert q25 <= q50 <= q75
+        assert "clado" in format_fig4(study)
+
+
+class TestFig6Driver:
+    def test_block_vs_full(self, ctx):
+        results = run_fig6(ctx, models=("resnet_s20",), avg_bits_list=(3.0,))
+        result = results["resnet_s20"]
+        assert "clado" in result.accuracy and "clado_block" in result.accuracy
+        assert "intra-block" in format_fig6(results)
+
+
+class TestFig7Driver:
+    def test_psd_study(self, ctx):
+        study = run_fig7(ctx, "resnet_s20", avg_bits_list=(3.0,))
+        assert len(study.accuracy_psd) == 1
+        assert len(study.solver_certified_nopsd) == 1
+        assert study.neg_mass_fraction >= 0
+        assert "PSD" in format_fig7(study)
+
+
+class TestRuntimeDriver:
+    def test_cost_profile(self, ctx):
+        rows = run_runtime(ctx, "resnet_s20", set_size=8)
+        names = [row.algorithm for row in rows]
+        assert names == ["CLADO", "CLADO*", "HAWQ", "MPQCO"]
+        clado, star, hawq, mpqco = rows
+        assert clado.forward_evals > star.forward_evals
+        assert clado.wall_seconds > 0
+        assert "CLADO" in format_runtime("resnet_s20", rows)
+
+
+class TestAssignmentsDriver:
+    def test_assignment_map(self, ctx):
+        assignments = run_assignments(
+            ctx, "resnet_s20", algorithms=("mpqco", "clado"), avg_bits=4.0
+        )
+        assert set(assignments) == {"mpqco", "clado"}
+        text = format_assignments(ctx, "resnet_s20", assignments, avg_bits=4.0)
+        assert "stem" in text or "stages" in text

@@ -1,0 +1,71 @@
+"""Failure-injection tests: corrupt inputs must fail loudly, not silently."""
+
+import numpy as np
+import pytest
+
+from repro.core import CLADO, SensitivityEngine
+from repro.models import build_model, quantizable_layers
+from repro.quant import QuantConfig, QuantizedWeightTable
+from repro.solvers import MPQProblem, solve_branch_and_bound
+
+
+class TestNonFiniteGuards:
+    def test_nan_inputs_raise_in_sensitivity_engine(self):
+        model = build_model("resnet_s20", num_classes=4)
+        model.eval()
+        layers = quantizable_layers(model, "resnet_s20")[:3]
+        table = QuantizedWeightTable(layers, QuantConfig(bits=(4, 8)))
+        engine = SensitivityEngine(model, table)
+        x = np.full((4, 3, 32, 32), np.nan, dtype=np.float32)
+        y = np.zeros(4, dtype=int)
+        with pytest.raises(RuntimeError, match="non-finite"):
+            engine.measure(x, y, mode="diagonal")
+
+    def test_diverged_weights_raise(self):
+        model = build_model("resnet_s20", num_classes=4)
+        model.eval()
+        layers = quantizable_layers(model, "resnet_s20")[:3]
+        layers[0].weight.data[:] = np.inf
+        table = QuantizedWeightTable(layers, QuantConfig(bits=(4, 8)))
+        engine = SensitivityEngine(model, table)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3, 32, 32)).astype(np.float32)
+        with pytest.raises(RuntimeError, match="non-finite"):
+            engine.measure(x, np.zeros(4, dtype=int), mode="diagonal")
+
+    def test_weights_restored_even_on_measurement_failure(self):
+        """The weight table must restore originals when a sweep aborts."""
+        model = build_model("resnet_s20", num_classes=4)
+        model.eval()
+        layers = quantizable_layers(model, "resnet_s20")[:3]
+        table = QuantizedWeightTable(layers, QuantConfig(bits=(4, 8)))
+        before = [layer.weight.data.copy() for layer in layers]
+        engine = SensitivityEngine(model, table)
+        x = np.full((2, 3, 32, 32), np.nan, dtype=np.float32)
+        with pytest.raises(RuntimeError):
+            engine.measure(x, np.zeros(2, dtype=int))
+        # The failure happens at the base-loss eval (no perturbation
+        # applied yet), and perturbed evals are context-managed, so the
+        # weights must be pristine either way.
+        for layer, b in zip(layers, before):
+            np.testing.assert_array_equal(layer.weight.data, b)
+
+
+class TestInfeasibleBudgets:
+    def test_bb_raises_below_min_size(self):
+        rng = np.random.default_rng(1)
+        n = 6
+        a = rng.normal(size=(n, n))
+        p = MPQProblem(a @ a.T, [100, 100], (2, 4, 8), 100)
+        with pytest.raises(ValueError):
+            solve_branch_and_bound(p)
+
+    def test_clado_rejects_budget_below_min(self):
+        model = build_model("resnet_s20", num_classes=4)
+        clado = CLADO(model, "resnet_s20", QuantConfig(bits=(2, 4, 8)))
+        clado.prepared = True  # bypass measurement; validation is earlier
+        clado.matrix = np.zeros(
+            (len(clado.layers) * 3, len(clado.layers) * 3)
+        )
+        with pytest.raises(ValueError, match="below the all-min"):
+            clado.allocate(1)

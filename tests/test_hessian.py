@@ -1,0 +1,214 @@
+"""Hessian tooling tests: HvP, Hutchinson, exact blocks — against analytics."""
+
+import numpy as np
+import pytest
+
+from repro.hessian import (
+    cross_vhv,
+    exact_hessian_block,
+    gather_grads,
+    gather_weights,
+    hutchinson_layer_traces,
+    hvp,
+    loss_and_grads,
+    scatter_weights,
+    vhv,
+)
+from repro.models import build_model, quantizable_layers
+from repro.nn import CrossEntropyLoss, Linear, Module
+
+
+class TwoLayerNet(Module):
+    """Tiny two-linear network with analytically tractable structure."""
+
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(4, 5, rng=rng)
+        self.fc2 = Linear(5, 3, rng=rng)
+
+    def forward(self, x):
+        return self.fc2.forward(self.fc1.forward(x))
+
+    def backward(self, g):
+        return self.fc1.backward(self.fc2.backward(g))
+
+
+class _QLayer:
+    """Minimal QuantizableLayer stand-in."""
+
+    def __init__(self, idx, name, module):
+        self.index = idx
+        self.name = name
+        self.module = module
+
+    @property
+    def weight(self):
+        return self.module.weight
+
+    @property
+    def num_params(self):
+        return self.module.weight.size
+
+
+@pytest.fixture
+def tiny_setup():
+    model = TwoLayerNet()
+    model.eval()
+    layers = [_QLayer(0, "fc1", model.fc1), _QLayer(1, "fc2", model.fc2)]
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(16, 4)).astype(np.float32)
+    y = rng.integers(0, 3, size=16)
+    return model, layers, x, y
+
+
+class TestFlatten:
+    def test_gather_scatter_roundtrip(self, tiny_setup):
+        model, layers, _, _ = tiny_setup
+        flats = gather_weights(layers)
+        original = [f.copy() for f in flats]
+        flats[0] += 1.0
+        scatter_weights(layers, flats)
+        assert np.abs(layers[0].weight.data.ravel() - original[0]).min() > 0.5
+        scatter_weights(layers, original)
+        np.testing.assert_allclose(layers[0].weight.data.ravel(), original[0])
+
+    def test_scatter_validation(self, tiny_setup):
+        _, layers, _, _ = tiny_setup
+        with pytest.raises(ValueError):
+            scatter_weights(layers, [np.zeros(3)])
+        with pytest.raises(ValueError):
+            scatter_weights(layers, [np.zeros(3), np.zeros(4)])
+
+    def test_loss_and_grads(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        loss, grads = loss_and_grads(model, crit, layers, x, y)
+        assert np.isfinite(loss)
+        assert len(grads) == 2
+        assert grads[0].shape == (layers[0].num_params,)
+        assert np.abs(grads[0]).max() > 0
+
+    def test_gather_grads_zero_when_none(self, tiny_setup):
+        _, layers, _, _ = tiny_setup
+        layers[0].weight.grad = None
+        grads = gather_grads(layers)
+        np.testing.assert_array_equal(grads[0], 0.0)
+
+
+class TestHvP:
+    def test_hvp_matches_exact_hessian_column(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        block = exact_hessian_block(model, crit, layers, x, y, 0, eps=1e-3)
+        basis = np.zeros(layers[0].num_params)
+        basis[3] = 1.0
+        hv = hvp(model, crit, layers, x, y, {0: basis}, eps=1e-3)
+        np.testing.assert_allclose(hv[0], block[:, 3], rtol=5e-2, atol=1e-4)
+
+    def test_hessian_block_symmetric(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        block = exact_hessian_block(model, crit, layers, x, y, 1, eps=1e-3)
+        np.testing.assert_allclose(block, block.T, rtol=0.1, atol=5e-4)
+
+    def test_cross_block_transpose_relation(self, tiny_setup):
+        """H_ij = H_ji^T (Schwarz symmetry of second derivatives)."""
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        h01 = exact_hessian_block(model, crit, layers, x, y, 0, 1, eps=1e-3)
+        h10 = exact_hessian_block(model, crit, layers, x, y, 1, 0, eps=1e-3)
+        np.testing.assert_allclose(h01, h10.T, rtol=0.1, atol=5e-4)
+
+    def test_vhv_matches_quadratic_form(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        rng = np.random.default_rng(2)
+        v = rng.normal(size=layers[0].num_params) * 0.1
+        block = exact_hessian_block(model, crit, layers, x, y, 0, eps=1e-3)
+        expected = float(v @ block @ v)
+        actual = vhv(model, crit, layers, x, y, 0, v)
+        assert actual == pytest.approx(expected, rel=0.05, abs=1e-5)
+
+    def test_cross_vhv_matches_block(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        rng = np.random.default_rng(3)
+        vi = rng.normal(size=layers[0].num_params) * 0.1
+        vj = rng.normal(size=layers[1].num_params) * 0.1
+        block = exact_hessian_block(model, crit, layers, x, y, 0, 1, eps=1e-3)
+        expected = float(vi @ block @ vj)
+        actual = cross_vhv(model, crit, layers, x, y, 0, vi, 1, vj)
+        assert actual == pytest.approx(expected, rel=0.05, abs=1e-5)
+
+    def test_cross_vhv_same_layer_raises(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        with pytest.raises(ValueError):
+            cross_vhv(
+                model, CrossEntropyLoss(), layers, x, y,
+                0, np.zeros(layers[0].num_params), 0, np.zeros(layers[0].num_params),
+            )
+
+    def test_zero_direction_returns_zero(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        hv = hvp(model, CrossEntropyLoss(), layers, x, y, {0: np.zeros(layers[0].num_params)})
+        assert all(np.all(h == 0) for h in hv)
+
+    def test_weights_restored_after_hvp(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        before = [layer.weight.data.copy() for layer in layers]
+        v = np.ones(layers[0].num_params)
+        hvp(model, CrossEntropyLoss(), layers, x, y, {0: v})
+        for layer, b in zip(layers, before):
+            np.testing.assert_array_equal(layer.weight.data, b)
+
+    def test_exact_block_dim_guard(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        with pytest.raises(ValueError):
+            exact_hessian_block(
+                model, CrossEntropyLoss(), layers, x, y, 0, max_dim=3
+            )
+
+
+class TestHutchinson:
+    def test_trace_close_to_exact(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        exact_traces = [
+            np.trace(exact_hessian_block(model, crit, layers, x, y, i, eps=1e-3))
+            for i in range(2)
+        ]
+        est = hutchinson_layer_traces(
+            model, crit, layers, x, y, probes=64, seed=0, eps=1e-3
+        )
+        for i in range(2):
+            scale = max(abs(exact_traces[i]), 1e-3)
+            assert abs(est[i] - exact_traces[i]) / scale < 0.5
+
+    def test_probe_validation(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        with pytest.raises(ValueError):
+            hutchinson_layer_traces(
+                model, CrossEntropyLoss(), layers, x, y, probes=0
+            )
+
+    def test_deterministic_given_seed(self, tiny_setup):
+        model, layers, x, y = tiny_setup
+        crit = CrossEntropyLoss()
+        a = hutchinson_layer_traces(model, crit, layers, x, y, probes=2, seed=5)
+        b = hutchinson_layer_traces(model, crit, layers, x, y, probes=2, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestOnRealModel:
+    def test_hvp_on_resnet_layers(self):
+        model = build_model("resnet_s20", num_classes=4)
+        model.eval()
+        layers = quantizable_layers(model, "resnet_s20")
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(8, 3, 32, 32)).astype(np.float32)
+        y = rng.integers(0, 4, size=8)
+        crit = CrossEntropyLoss()
+        v = rng.normal(size=layers[0].num_params) * 0.01
+        value = vhv(model, crit, layers, x, y, 0, v)
+        assert np.isfinite(value)

@@ -1,0 +1,145 @@
+"""Assorted edge-case tests across packages (cheap, no training)."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    QuantConfig,
+    UniformSymmetricQuantizer,
+    mse_optimal_scale,
+    quantize_symmetric,
+)
+from repro.solvers import MPQProblem, solve_relaxation
+
+
+class TestQuantizerIdempotence:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_double_quantization_fixed_point(self, bits):
+        """Q(Q(w)) == Q(w) at a fixed scale (grid points are fixed points)."""
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=128)
+        scale = mse_optimal_scale(w, bits)
+        q1 = quantize_symmetric(w, bits, scale)
+        q2 = quantize_symmetric(q1, bits, scale)
+        np.testing.assert_allclose(q1, q2, rtol=0, atol=1e-12)
+
+    def test_calibrated_quantizer_reusable(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=64)
+        quant = UniformSymmetricQuantizer(4).calibrate(w)
+        a = quant(w)
+        b = quant(w)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestConvStrideEdge:
+    def test_stride_larger_than_kernel(self):
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(1, 2, 8, 8))
+        w = rng.normal(size=(3, 2, 2, 2))
+        out, _ = F.conv2d_forward(x, w, None, 3, 0, 1)
+        assert out.shape == (1, 3, 3, 3)
+
+    def test_1x1_conv_is_channel_mix(self):
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(5, 3, 1, 1))
+        out, _ = F.conv2d_forward(x, w, None, 1, 0, 1)
+        expected = np.einsum("oc,nchw->nohw", w[:, :, 0, 0], x)
+        np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+
+class TestActivationValues:
+    def test_gelu_known_points(self):
+        from repro.nn import GELU
+
+        g = GELU()
+        out = g.forward(np.array([0.0]))
+        np.testing.assert_allclose(out, [0.0], atol=1e-12)
+        out = g.forward(np.array([10.0]))
+        np.testing.assert_allclose(out, [10.0], rtol=1e-4)
+
+    def test_silu_known_points(self):
+        from repro.nn import SiLU
+
+        s = SiLU()
+        np.testing.assert_allclose(s.forward(np.array([0.0])), [0.0])
+        np.testing.assert_allclose(
+            s.forward(np.array([1.0])), [1.0 / (1 + np.exp(-1.0))], rtol=1e-9
+        )
+
+
+class TestSolveResultHelpers:
+    def test_bits_method(self):
+        from repro.solvers import SolveResult
+
+        p = MPQProblem(np.zeros((6, 6)), [1, 1], (2, 4, 8), 100)
+        r = SolveResult(
+            choice=np.array([0, 2]),
+            objective=0.0,
+            size_bits=10,
+            optimal=True,
+            method="dp",
+        )
+        np.testing.assert_array_equal(r.bits(p), [2, 8])
+
+
+class TestRelaxationEdge:
+    def test_warm_start_wrong_shape_ignored(self):
+        rng = np.random.default_rng(4)
+        n = 9
+        a = rng.normal(size=(n, n))
+        p = MPQProblem(a @ a.T, [10, 20, 30], (2, 4, 8), 60 * 8)
+        relax = solve_relaxation(p, warm_start=np.zeros(5))
+        assert relax.feasible
+
+    def test_budget_exactly_min(self):
+        rng = np.random.default_rng(5)
+        n = 6
+        a = rng.normal(size=(n, n))
+        sizes = np.array([10, 20])
+        p = MPQProblem(a @ a.T, sizes, (2, 4, 8), int(sizes.sum()) * 2)
+        relax = solve_relaxation(p)
+        assert relax.feasible
+        # Only the all-2-bit corner is feasible.
+        nb = 3
+        for i in range(2):
+            assert relax.alpha[i * nb + 0] == pytest.approx(1.0, abs=1e-5)
+
+
+class TestQuantConfigProperties:
+    def test_single_candidate(self):
+        cfg = QuantConfig(bits=(4,))
+        assert cfg.num_choices == 1
+        assert cfg.min_bits == cfg.max_bits == 4
+
+    def test_frozen(self):
+        cfg = QuantConfig()
+        with pytest.raises(Exception):
+            cfg.bits = (1, 2)
+
+
+class TestSensitivityResultHelpers:
+    def test_cross_block_accessor(self):
+        from repro.core import SensitivityResult
+
+        nb, num_layers = 2, 3
+        matrix = np.arange(36.0).reshape(6, 6)
+        result = SensitivityResult(
+            matrix=matrix,
+            base_loss=1.0,
+            single_losses=np.zeros((num_layers, nb)),
+            num_evals=10,
+            wall_time=0.1,
+            mode="full",
+            bits=(4, 8),
+        )
+        block = result.cross_block(0, 2)
+        np.testing.assert_array_equal(block, matrix[0:2, 4:6])
+        costs = result.diagonal_costs()
+        assert costs.shape == (3, 2)
+        np.testing.assert_array_equal(costs[0], [matrix[0, 0], matrix[1, 1]])

@@ -1,0 +1,187 @@
+"""Block-level tests: shapes, residual semantics, and gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BasicBlock,
+    Bottleneck,
+    ConvBNAct,
+    InvertedResidual,
+    Mlp,
+    PatchEmbed,
+    SqueezeExcite,
+    TransformerEncoderBlock,
+    XBlock,
+)
+
+from helpers import numeric_input_grad
+
+
+def _check_block_input_grad(block, x, rtol=3e-2, atol=3e-3):
+    block.eval()
+    out = block.forward(x.copy())
+    rng = np.random.default_rng(0)
+    grad_out = rng.normal(size=out.shape)
+    block.forward(x.copy())
+    dx = block.backward(grad_out)
+    idx, numeric = numeric_input_grad(
+        lambda xv: block.forward(xv), x.astype(np.float64), grad_out
+    )
+    np.testing.assert_allclose(dx.ravel()[idx], numeric, rtol=rtol, atol=atol)
+
+
+class TestConvBNAct:
+    def test_shapes_and_stride(self):
+        rng = np.random.default_rng(0)
+        block = ConvBNAct(3, 8, 3, stride=2, rng=rng)
+        out = block.forward(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ValueError):
+            ConvBNAct(3, 8, act="swish++")
+
+    def test_input_grad(self):
+        rng = np.random.default_rng(1)
+        block = ConvBNAct(2, 4, 3, rng=rng)
+        # Randomize BN stats so eval mode is non-trivial.
+        block.bn.running_mean[:] = rng.normal(size=4)
+        block.bn.running_var[:] = np.abs(rng.normal(size=4)) + 0.5
+        x = rng.normal(size=(2, 2, 5, 5))
+        _check_block_input_grad(block, x)
+
+
+class TestResidualBlocks:
+    def test_basicblock_identity_path(self):
+        rng = np.random.default_rng(2)
+        block = BasicBlock(4, 4, stride=1, rng=rng)
+        assert block.downsample is None
+        out = block.forward(np.zeros((1, 4, 6, 6), dtype=np.float32))
+        assert out.shape == (1, 4, 6, 6)
+
+    def test_basicblock_downsample_path(self):
+        rng = np.random.default_rng(3)
+        block = BasicBlock(4, 8, stride=2, rng=rng)
+        assert block.downsample is not None
+        out = block.forward(np.zeros((1, 4, 6, 6), dtype=np.float32))
+        assert out.shape == (1, 8, 3, 3)
+
+    def test_basicblock_residual_addition(self):
+        """With all convs zeroed, the block must be relu(identity)."""
+        rng = np.random.default_rng(4)
+        block = BasicBlock(3, 3, rng=rng)
+        block.conv1.weight.data[:] = 0
+        block.conv2.weight.data[:] = 0
+        block.eval()
+        x = rng.normal(size=(1, 3, 4, 4)).astype(np.float32)
+        out = block.forward(x)
+        np.testing.assert_allclose(out, np.maximum(x, 0), atol=1e-6)
+
+    def test_basicblock_input_grad(self):
+        rng = np.random.default_rng(5)
+        block = BasicBlock(3, 6, stride=2, rng=rng)
+        x = rng.normal(size=(2, 3, 6, 6))
+        _check_block_input_grad(block, x)
+
+    def test_bottleneck_shapes(self):
+        rng = np.random.default_rng(6)
+        block = Bottleneck(8, 4, stride=2, rng=rng)
+        out = block.forward(np.zeros((1, 8, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 16, 4, 4)  # mid * expansion
+
+    def test_bottleneck_input_grad(self):
+        rng = np.random.default_rng(7)
+        block = Bottleneck(4, 2, rng=rng)
+        x = rng.normal(size=(2, 4, 4, 4))
+        _check_block_input_grad(block, x)
+
+    def test_xblock_group_validation(self):
+        with pytest.raises(ValueError):
+            XBlock(8, 10, group_width=4)
+
+    def test_xblock_input_grad(self):
+        rng = np.random.default_rng(8)
+        block = XBlock(4, 8, stride=2, group_width=4, rng=rng)
+        x = rng.normal(size=(2, 4, 6, 6))
+        _check_block_input_grad(block, x)
+
+
+class TestSqueezeExcite:
+    def test_gate_bounds(self):
+        rng = np.random.default_rng(9)
+        se = SqueezeExcite(8, rng=rng)
+        x = rng.normal(size=(2, 8, 4, 4)).astype(np.float32)
+        out = se.forward(x)
+        ratio = out / np.where(x == 0, 1, x)
+        assert out.shape == x.shape
+
+    def test_input_grad(self):
+        rng = np.random.default_rng(10)
+        se = SqueezeExcite(4, rng=rng)
+        x = rng.normal(size=(2, 4, 3, 3))
+        _check_block_input_grad(se, x)
+
+    def test_backward_requires_forward(self):
+        with pytest.raises(RuntimeError):
+            SqueezeExcite(4).backward(np.zeros((1, 4, 2, 2)))
+
+
+class TestInvertedResidual:
+    def test_residual_condition(self):
+        rng = np.random.default_rng(11)
+        same = InvertedResidual(8, 16, 8, stride=1, rng=rng)
+        assert same.use_residual
+        strided = InvertedResidual(8, 16, 8, stride=2, rng=rng)
+        assert not strided.use_residual
+        widened = InvertedResidual(8, 16, 12, stride=1, rng=rng)
+        assert not widened.use_residual
+
+    def test_shapes(self):
+        rng = np.random.default_rng(12)
+        block = InvertedResidual(4, 8, 6, stride=2, rng=rng)
+        out = block.forward(np.zeros((1, 4, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 6, 4, 4)
+
+    def test_input_grad_with_se(self):
+        rng = np.random.default_rng(13)
+        block = InvertedResidual(4, 8, 4, stride=1, use_se=True, rng=rng)
+        x = rng.normal(size=(2, 4, 4, 4))
+        _check_block_input_grad(block, x)
+
+
+class TestTransformerPieces:
+    def test_mlp_grad(self):
+        rng = np.random.default_rng(14)
+        mlp = Mlp(8, 16, rng=rng)
+        x = rng.normal(size=(2, 5, 8))
+        _check_block_input_grad(mlp, x)
+
+    def test_encoder_block_shape_preserved(self):
+        rng = np.random.default_rng(15)
+        block = TransformerEncoderBlock(16, 4, rng=rng)
+        x = rng.normal(size=(2, 9, 16)).astype(np.float32)
+        assert block.forward(x).shape == x.shape
+
+    def test_encoder_block_grad(self):
+        rng = np.random.default_rng(16)
+        block = TransformerEncoderBlock(8, 2, mlp_ratio=2.0, rng=rng)
+        x = rng.normal(size=(1, 4, 8))
+        _check_block_input_grad(block, x)
+
+    def test_patch_embed_shapes(self):
+        rng = np.random.default_rng(17)
+        embed = PatchEmbed(16, 4, 3, 24, rng=rng)
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        tokens = embed.forward(x)
+        assert tokens.shape == (2, 17, 24)  # 16 patches + cls
+
+    def test_patch_embed_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            PatchEmbed(15, 4, 3, 24)
+
+    def test_patch_embed_grad(self):
+        rng = np.random.default_rng(18)
+        embed = PatchEmbed(8, 4, 2, 6, rng=rng)
+        x = rng.normal(size=(2, 2, 8, 8))
+        _check_block_input_grad(embed, x)

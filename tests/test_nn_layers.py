@@ -1,0 +1,267 @@
+"""Layer-level tests: gradients against finite differences, mode semantics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GELU,
+    GlobalAvgPool2d,
+    Hardsigmoid,
+    Hardswish,
+    Identity,
+    LayerNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    SiLU,
+)
+
+from helpers import numeric_input_grad
+
+
+def _check_input_grad(layer, x, rtol=2e-2, atol=2e-3, train=False):
+    layer.train(train)
+    out = layer.forward(x.copy())
+    rng = np.random.default_rng(0)
+    grad_out = rng.normal(size=out.shape).astype(np.float64)
+    layer.forward(x.copy())  # fresh cache for analytic backward
+    dx = layer.backward(grad_out)
+    assert dx.shape == x.shape
+
+    def fwd(xv):
+        layer_mode = layer.training
+        layer.train(layer_mode)
+        return layer.forward(xv)
+
+    idx, numeric = numeric_input_grad(fwd, x.astype(np.float64), grad_out)
+    np.testing.assert_allclose(dx.ravel()[idx], numeric, rtol=rtol, atol=atol)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer_cls", [ReLU, GELU, SiLU, Sigmoid]
+    )
+    def test_smooth_activation_grads(self, layer_cls):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(4, 6)).astype(np.float64)
+        _check_input_grad(layer_cls(), x)
+
+    @pytest.mark.parametrize("layer_cls", [Hardswish, Hardsigmoid])
+    def test_piecewise_activation_grads_away_from_kinks(self, layer_cls):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 6)).astype(np.float64)
+        # Keep probes away from the +-3 kinks where FD is undefined.
+        x = np.clip(x, -2.5, 2.5)
+        _check_input_grad(layer_cls(), x)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out, [0.0, 0.0, 2.0])
+
+    def test_hardswish_known_values(self):
+        hs = Hardswish()
+        np.testing.assert_allclose(
+            hs.forward(np.array([-4.0, 0.0, 4.0])), [0.0, 0.0, 4.0]
+        )
+
+    def test_identity_passthrough(self):
+        x = np.arange(4.0)
+        layer = Identity()
+        np.testing.assert_allclose(layer.forward(x), x)
+        np.testing.assert_allclose(layer.backward(x), x)
+
+
+class TestLinear:
+    def test_forward_matches_manual(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(2, 4)).astype(np.float32)
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer.forward(x), expected, rtol=1e-6)
+
+    def test_3d_input(self):
+        rng = np.random.default_rng(4)
+        layer = Linear(4, 5, rng=rng)
+        x = rng.normal(size=(2, 7, 4)).astype(np.float32)
+        out = layer.forward(x)
+        assert out.shape == (2, 7, 5)
+        dx = layer.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_weight_grad_numeric(self):
+        rng = np.random.default_rng(5)
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3)).astype(np.float64)
+        out = layer.forward(x)
+        go = rng.normal(size=out.shape)
+        layer.backward(go)
+        # dW = go^T x
+        np.testing.assert_allclose(
+            layer.weight.grad, go.T @ x, rtol=1e-5, atol=1e-6
+        )
+        np.testing.assert_allclose(layer.bias.grad, go.sum(axis=0), rtol=1e-6)
+
+
+class TestConvLayer:
+    def test_input_grad(self):
+        rng = np.random.default_rng(6)
+        layer = Conv2d(2, 3, 3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5)).astype(np.float64)
+        _check_input_grad(layer, x)
+
+    def test_depthwise_shapes(self):
+        layer = Conv2d(4, 4, 3, padding=1, groups=4)
+        out = layer.forward(np.zeros((1, 4, 6, 6), dtype=np.float32))
+        assert out.shape == (1, 4, 6, 6)
+
+
+class TestBatchNorm:
+    def test_train_normalizes_batch(self):
+        rng = np.random.default_rng(7)
+        bn = BatchNorm2d(3)
+        bn.train()
+        x = rng.normal(5.0, 3.0, size=(8, 3, 4, 4))
+        out = bn.forward(x)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_update_only_in_train(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(8).normal(2.0, 1.0, size=(4, 2, 3, 3))
+        bn.eval()
+        bn.forward(x)
+        np.testing.assert_allclose(bn.running_mean, 0.0)
+        bn.train()
+        bn.forward(x)
+        assert np.abs(bn.running_mean).max() > 0
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1)
+        bn.running_mean[:] = 2.0
+        bn.running_var[:] = 4.0
+        bn.eval()
+        out = bn.forward(np.full((1, 1, 1, 1), 4.0))
+        np.testing.assert_allclose(out, (4.0 - 2.0) / 2.0, rtol=1e-4)
+
+    def test_train_mode_input_grad(self):
+        rng = np.random.default_rng(9)
+        bn = BatchNorm2d(2)
+        x = rng.normal(size=(4, 2, 3, 3)).astype(np.float64)
+        _check_input_grad(bn, x, train=True)
+
+    def test_eval_mode_input_grad(self):
+        rng = np.random.default_rng(10)
+        bn = BatchNorm2d(2)
+        bn.running_mean[:] = rng.normal(size=2)
+        bn.running_var[:] = np.abs(rng.normal(size=2)) + 0.5
+        x = rng.normal(size=(4, 2, 3, 3)).astype(np.float64)
+        _check_input_grad(bn, x, train=False)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self):
+        rng = np.random.default_rng(11)
+        ln = LayerNorm(8)
+        x = rng.normal(3.0, 2.0, size=(4, 5, 8))
+        out = ln.forward(x)
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_input_grad(self):
+        rng = np.random.default_rng(12)
+        ln = LayerNorm(6)
+        x = rng.normal(size=(3, 6)).astype(np.float64)
+        _check_input_grad(ln, x)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = MaxPool2d(2).forward(x)
+        np.testing.assert_allclose(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_maxpool_grad_routes_to_argmax(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        layer = MaxPool2d(2)
+        out = layer.forward(x)
+        dx = layer.backward(np.ones_like(out))
+        assert dx.sum() == 4
+        assert dx[0, 0, 1, 1] == 1  # position of 5
+
+    def test_avgpool_values_and_grad(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        layer = AvgPool2d(2)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, 0, 0, 0], (0 + 1 + 4 + 5) / 4)
+        dx = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(dx, 0.25)
+
+    def test_gap_shape_and_grad(self):
+        layer = GlobalAvgPool2d()
+        x = np.random.default_rng(13).normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 3)
+        dx = layer.backward(np.ones_like(out))
+        np.testing.assert_allclose(dx, 1.0 / 16)
+
+    def test_pool_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+        with pytest.raises(ValueError):
+            AvgPool2d(3).forward(np.zeros((1, 1, 4, 4)))
+
+
+class TestFlattenDropout:
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.random.default_rng(14).normal(size=(2, 3, 4, 4))
+        out = layer.forward(x)
+        assert out.shape == (2, 48)
+        dx = layer.backward(out)
+        assert dx.shape == x.shape
+
+    def test_dropout_eval_is_identity(self):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = np.ones((4, 4))
+        np.testing.assert_allclose(layer.forward(x), x)
+
+    def test_dropout_train_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(15))
+        layer.train()
+        x = np.ones((1000,))
+        out = layer.forward(x)
+        kept = out[out > 0]
+        np.testing.assert_allclose(kept, 2.0)
+        assert 300 < len(kept) < 700
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestActQuantHook:
+    def test_act_quant_applied_to_conv_input(self):
+        layer = Conv2d(1, 1, 1, bias=False)
+        layer.weight.data[:] = 1.0
+        calls = []
+
+        def fake_quant(x):
+            calls.append(x.copy())
+            return np.zeros_like(x)
+
+        layer.act_quant = fake_quant
+        out = layer.forward(np.ones((1, 1, 2, 2), dtype=np.float32))
+        assert len(calls) == 1
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_act_quant_applied_to_linear_input(self):
+        layer = Linear(2, 2, bias=False)
+        layer.act_quant = lambda x: x * 0.0
+        out = layer.forward(np.ones((1, 2), dtype=np.float32))
+        np.testing.assert_allclose(out, 0.0)

@@ -1,0 +1,127 @@
+"""Mathematical property tests of the NN kernels (hypothesis-driven)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import BatchNorm2d, Conv2d, LayerNorm, MultiHeadSelfAttention
+from repro.nn import functional as F
+
+
+class TestConvLinearity:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_is_linear_in_input(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=(3, 2, 3, 3))
+        x1 = rng.normal(size=(2, 2, 6, 6))
+        x2 = rng.normal(size=(2, 2, 6, 6))
+        a, b = rng.normal(), rng.normal()
+        out_combo, _ = F.conv2d_forward(a * x1 + b * x2, w, None, 1, 1, 1)
+        out1, _ = F.conv2d_forward(x1, w, None, 1, 1, 1)
+        out2, _ = F.conv2d_forward(x2, w, None, 1, 1, 1)
+        np.testing.assert_allclose(out_combo, a * out1 + b * out2, rtol=1e-8, atol=1e-10)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_conv_is_linear_in_weight(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w1 = rng.normal(size=(2, 2, 3, 3))
+        w2 = rng.normal(size=(2, 2, 3, 3))
+        out_sum, _ = F.conv2d_forward(x, w1 + w2, None, 1, 1, 1)
+        o1, _ = F.conv2d_forward(x, w1, None, 1, 1, 1)
+        o2, _ = F.conv2d_forward(x, w2, None, 1, 1, 1)
+        np.testing.assert_allclose(out_sum, o1 + o2, rtol=1e-8, atol=1e-10)
+
+    def test_conv_translation_equivariance(self):
+        """Shifting the input shifts the output (stride 1, interior)."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(1, 1, 10, 10))
+        w = rng.normal(size=(1, 1, 3, 3))
+        out, _ = F.conv2d_forward(x, w, None, 1, 1, 1)
+        x_shift = np.roll(x, shift=2, axis=3)
+        out_shift, _ = F.conv2d_forward(x_shift, w, None, 1, 1, 1)
+        np.testing.assert_allclose(
+            out_shift[:, :, :, 3:-3], np.roll(out, 2, axis=3)[:, :, :, 3:-3],
+            rtol=1e-8, atol=1e-10,
+        )
+
+
+class TestNormalizationProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_batchnorm_eval_is_affine(self, seed):
+        """Eval-mode BN must be an affine map: f(ax+b·1) relation holds."""
+        rng = np.random.default_rng(seed)
+        bn = BatchNorm2d(3)
+        bn.running_mean[:] = rng.normal(size=3)
+        bn.running_var[:] = np.abs(rng.normal(size=3)) + 0.5
+        bn.eval()
+        x1 = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        x2 = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        lam = 0.3
+        lhs = bn.forward(lam * x1 + (1 - lam) * x2)
+        rhs = lam * bn.forward(x1) + (1 - lam) * bn.forward(x2)
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-4, atol=1e-5)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_layernorm_shift_invariance(self, seed):
+        """LayerNorm output is invariant to adding a constant per row."""
+        rng = np.random.default_rng(seed)
+        ln = LayerNorm(8)
+        x = rng.normal(size=(3, 8))
+        shifted = x + rng.normal() * np.ones(8)
+        np.testing.assert_allclose(
+            ln.forward(x), ln.forward(shifted), rtol=1e-4, atol=1e-5
+        )
+
+    def test_layernorm_scale_invariance(self):
+        rng = np.random.default_rng(8)
+        ln = LayerNorm(8)
+        x = rng.normal(size=(3, 8))
+        np.testing.assert_allclose(
+            ln.forward(x), ln.forward(x * 5.0), rtol=1e-4, atol=1e-5
+        )
+
+
+class TestAttentionProperties:
+    def test_token_permutation_equivariance(self):
+        """Without positional embeddings, MHSA commutes with permutations."""
+        rng = np.random.default_rng(9)
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 6, 8)).astype(np.float32)
+        perm = rng.permutation(6)
+        out = attn.forward(x)
+        out_perm = attn.forward(x[:, perm, :])
+        np.testing.assert_allclose(out[:, perm, :], out_perm, rtol=1e-4, atol=1e-5)
+
+    def test_attention_rows_are_convex_combinations(self):
+        """Each context vector lies in the convex hull of the value rows:
+        components bounded by value min/max."""
+        rng = np.random.default_rng(10)
+        attn = MultiHeadSelfAttention(8, 2, rng=rng)
+        x = rng.normal(size=(1, 5, 8)).astype(np.float32)
+        q = attn._split_heads(attn.query.forward(x))
+        k = attn._split_heads(attn.key.forward(x))
+        v = attn._split_heads(attn.value.forward(x))
+        scale = 1.0 / np.sqrt(attn.head_dim)
+        probs = F.softmax(np.matmul(q, k.swapaxes(-1, -2)) * scale, axis=-1)
+        context = np.matmul(probs, v)
+        assert (context <= v.max(axis=2, keepdims=True) + 1e-5).all()
+        assert (context >= v.min(axis=2, keepdims=True) - 1e-5).all()
+
+
+class TestPoolingProperties:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_maxpool_dominates_avgpool(self, seed):
+        from repro.nn import AvgPool2d, MaxPool2d
+
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 4, 4))
+        mx = MaxPool2d(2).forward(x)
+        av = AvgPool2d(2).forward(x)
+        assert (mx >= av - 1e-12).all()

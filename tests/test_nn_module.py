@@ -1,0 +1,184 @@
+"""Unit tests for Module / Parameter / Sequential plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear, Module, Parameter, ReLU, Sequential
+from repro.nn.module import DTYPE
+
+
+class TinyNet(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.act = ReLU()
+        self.fc2 = Linear(8, 3, rng=np.random.default_rng(1))
+        self.blocks = [Linear(3, 3), Linear(3, 3)]
+
+    def forward(self, x):
+        x = self.fc2.forward(self.act.forward(self.fc1.forward(x)))
+        for b in self.blocks:
+            x = b.forward(x)
+        return x
+
+    def backward(self, g):
+        for b in reversed(self.blocks):
+            g = b.backward(g)
+        return self.fc1.backward(self.act.backward(self.fc2.backward(g)))
+
+
+class TestParameter:
+    def test_dtype_coercion(self):
+        p = Parameter(np.arange(4, dtype=np.int64))
+        assert p.data.dtype == DTYPE
+
+    def test_size_and_shape(self):
+        p = Parameter(np.zeros((3, 5)))
+        assert p.size == 15
+        assert p.shape == (3, 5)
+
+    def test_accumulate_grad_accumulates(self):
+        p = Parameter(np.zeros(3))
+        p.accumulate_grad(np.ones(3))
+        p.accumulate_grad(np.ones(3) * 2)
+        np.testing.assert_allclose(p.grad, [3, 3, 3])
+
+    def test_accumulate_grad_copies(self):
+        p = Parameter(np.zeros(2))
+        g = np.ones(2)
+        p.accumulate_grad(g)
+        g[:] = 99
+        np.testing.assert_allclose(p.grad, [1, 1])
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        p.accumulate_grad(np.ones(2))
+        p.zero_grad()
+        assert p.grad is None
+
+    def test_requires_grad_false_skips(self):
+        p = Parameter(np.zeros(2))
+        p.requires_grad = False
+        p.accumulate_grad(np.ones(2))
+        assert p.grad is None
+
+
+class TestModuleTraversal:
+    def test_named_parameters_are_dotted(self):
+        net = TinyNet()
+        names = [name for name, _ in net.named_parameters()]
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+        assert "blocks.0.weight" in names
+        assert "blocks.1.bias" in names
+
+    def test_named_parameters_deterministic_order(self):
+        net = TinyNet()
+        first = [name for name, _ in net.named_parameters()]
+        second = [name for name, _ in net.named_parameters()]
+        assert first == second
+
+    def test_named_modules_includes_list_children(self):
+        net = TinyNet()
+        names = dict(net.named_modules())
+        assert "blocks.0" in names
+        assert "fc1" in names
+
+    def test_train_eval_propagates(self):
+        net = TinyNet()
+        net.train()
+        assert net.fc1.training and net.blocks[0].training
+        net.eval()
+        assert not net.fc1.training and not net.blocks[1].training
+
+    def test_zero_grad_clears_everything(self):
+        net = TinyNet()
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        out = net.forward(x)
+        net.backward(np.ones_like(out))
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1 = TinyNet()
+        net2 = TinyNet()
+        for p in net1.parameters():
+            p.data = p.data + 1.0
+        net2.load_state_dict(net1.state_dict())
+        for p1, p2 in zip(net1.parameters(), net2.parameters()):
+            np.testing.assert_allclose(p1.data, p2.data)
+
+    def test_includes_running_stats(self):
+        from repro.nn import BatchNorm2d
+
+        class BNNet(Module):
+            def __init__(self):
+                super().__init__()
+                self.bn = BatchNorm2d(3)
+
+            def forward(self, x):
+                return self.bn.forward(x)
+
+            def backward(self, g):
+                return self.bn.backward(g)
+
+        net = BNNet()
+        net.bn.running_mean += 5.0
+        state = net.state_dict()
+        assert "bn.running_mean" in state
+        net2 = BNNet()
+        net2.load_state_dict(state)
+        np.testing.assert_allclose(net2.bn.running_mean, net.bn.running_mean)
+
+    def test_missing_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            TinyNet().load_state_dict(state)
+
+    def test_extra_key_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            TinyNet().load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = TinyNet()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            TinyNet().load_state_dict(state)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        rng = np.random.default_rng(3)
+        seq = Sequential(Linear(4, 6, rng=rng), ReLU(), Linear(6, 2, rng=rng))
+        x = rng.normal(size=(5, 4)).astype(np.float32)
+        out = seq.forward(x)
+        assert out.shape == (5, 2)
+        gin = seq.backward(np.ones_like(out))
+        assert gin.shape == x.shape
+
+    def test_len_getitem_append(self):
+        seq = Sequential(ReLU())
+        assert len(seq) == 1
+        seq.append(ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+
+
+class TestConvLinearValidation:
+    def test_conv_rejects_bad_groups(self):
+        with pytest.raises(ValueError):
+            Conv2d(3, 8, 3, groups=2)
+
+    def test_backward_without_forward_raises(self):
+        layer = Linear(3, 3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 3)))

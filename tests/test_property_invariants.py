@@ -1,0 +1,135 @@
+"""Cross-cutting hypothesis property tests on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import assignment_bits, uniform_bits
+from repro.solvers import MPQProblem
+from repro.solvers.greedy import _IncrementalObjective
+
+
+def _random_problem(seed, num_layers=None):
+    rng = np.random.default_rng(seed)
+    num_layers = num_layers or int(rng.integers(2, 7))
+    nb = 3
+    n = num_layers * nb
+    a = rng.normal(size=(n, n))
+    g = 0.5 * (a + a.T)  # symmetric, possibly indefinite (harder case)
+    sizes = rng.integers(5, 300, size=num_layers)
+    budget = int(sizes.sum() * rng.uniform(2.5, 7.5))
+    return MPQProblem(g, sizes, (2, 4, 8), budget), rng
+
+
+class TestIncrementalObjective:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_matches_direct_after_random_moves(self, seed):
+        problem, rng = _random_problem(seed)
+        choice = rng.integers(0, 3, size=problem.num_layers)
+        state = _IncrementalObjective(problem, choice)
+        for _ in range(10):
+            layer = int(rng.integers(0, problem.num_layers))
+            new_m = int(rng.integers(0, problem.num_choices))
+            state.apply_move(layer, new_m)
+        direct = problem.objective(state.choice)
+        assert state.value == pytest.approx(direct, rel=1e-9, abs=1e-9)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_move_delta_predicts_actual_change(self, seed):
+        problem, rng = _random_problem(seed)
+        choice = rng.integers(0, 3, size=problem.num_layers)
+        state = _IncrementalObjective(problem, choice)
+        layer = int(rng.integers(0, problem.num_layers))
+        new_m = int(rng.integers(0, problem.num_choices))
+        predicted = state.move_delta(layer, new_m)
+        before = state.value
+        state.apply_move(layer, new_m)
+        assert state.value - before == pytest.approx(predicted, abs=1e-9)
+
+
+class TestProblemInvariants:
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_objective_invariant_under_symmetrization(self, seed):
+        problem, rng = _random_problem(seed)
+        asym = problem.sensitivity.copy()
+        asym[0, -1] += 0.7  # break symmetry
+        asym_problem = MPQProblem(
+            asym, problem.layer_sizes, problem.bits, problem.budget_bits
+        )
+        sym_problem = MPQProblem(
+            0.5 * (asym + asym.T),
+            problem.layer_sizes,
+            problem.bits,
+            problem.budget_bits,
+        )
+        choice = rng.integers(0, 3, size=problem.num_layers)
+        assert asym_problem.objective(choice) == pytest.approx(
+            sym_problem.objective(choice), rel=1e-12
+        )
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_size_monotone_in_choice(self, seed):
+        problem, rng = _random_problem(seed)
+        choice = rng.integers(0, 2, size=problem.num_layers)
+        promoted = choice.copy()
+        layer = int(rng.integers(0, problem.num_layers))
+        promoted[layer] = choice[layer] + 1
+        assert problem.assignment_size_bits(promoted) > problem.assignment_size_bits(
+            choice
+        )
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_is_valid_one_hot(self, seed):
+        problem, rng = _random_problem(seed)
+        choice = rng.integers(0, 3, size=problem.num_layers)
+        alpha = problem.choice_to_alpha(choice)
+        nb = problem.num_choices
+        for i in range(problem.num_layers):
+            block = alpha[i * nb : (i + 1) * nb]
+            assert block.sum() == 1.0
+            assert set(np.unique(block)) <= {0.0, 1.0}
+
+
+class TestSizingProperties:
+    @given(
+        sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=20),
+        b=st.sampled_from([2, 4, 6, 8]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_uniform_equals_assignment_of_constant_bits(self, sizes, b):
+        assert uniform_bits(sizes, b) == assignment_bits(sizes, [b] * len(sizes))
+
+    @given(
+        sizes=st.lists(st.integers(1, 10_000), min_size=1, max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_assignment_bits_between_min_max_uniform(self, sizes):
+        rng = np.random.default_rng(0)
+        bits = rng.choice([2, 4, 8], size=len(sizes))
+        total = assignment_bits(sizes, bits)
+        assert uniform_bits(sizes, 2) <= total <= uniform_bits(sizes, 8)
+
+
+class TestQuantizerScaleInvariance:
+    @given(
+        seed=st.integers(0, 10_000),
+        factor=st.floats(0.1, 10.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_quantization_scales_linearly(self, seed, factor):
+        """Q(c*w) == c*Q(w) when the MSE scale search sees scaled data."""
+        from repro.quant import mse_optimal_scale, quantize_symmetric
+
+        rng = np.random.default_rng(seed)
+        w = rng.normal(size=64)
+        s1 = mse_optimal_scale(w, 4)
+        s2 = mse_optimal_scale(w * factor, 4)
+        q1 = quantize_symmetric(w, 4, s1)
+        q2 = quantize_symmetric(w * factor, 4, s2)
+        np.testing.assert_allclose(q2, q1 * factor, rtol=1e-6, atol=1e-9)

@@ -1,0 +1,146 @@
+"""Tests for integer weight packing / deployment export."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    PackedTensor,
+    export_assignment,
+    load_packed,
+    pack_tensor,
+    quantize_weight,
+    save_packed,
+    unpack_tensor,
+)
+
+weights = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 12)),
+    elements=st.floats(-5, 5, allow_nan=False, allow_infinity=False),
+)
+
+
+class TestRoundTrip:
+    @given(w=weights, bits=st.sampled_from([2, 3, 4, 6, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_roundtrip_equals_fake_quant(self, w, bits):
+        packed = pack_tensor(w, bits, "symmetric")
+        decoded = unpack_tensor(packed)
+        expected = quantize_weight(w, bits, "symmetric")
+        np.testing.assert_allclose(decoded, expected, rtol=1e-6, atol=1e-9)
+
+    @given(w=weights, bits=st.sampled_from([2, 4, 6, 8]))
+    @settings(max_examples=30, deadline=None)
+    def test_affine_roundtrip_equals_fake_quant(self, w, bits):
+        packed = pack_tensor(w, bits, "affine")
+        decoded = unpack_tensor(packed)
+        expected = quantize_weight(w, bits, "affine")
+        np.testing.assert_allclose(decoded, expected, rtol=1e-6, atol=1e-9)
+
+    def test_4d_conv_weight(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 4, 3, 3))
+        packed = pack_tensor(w, 4, "symmetric")
+        assert unpack_tensor(packed).shape == w.shape
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            pack_tensor(np.ones(4), 4, "magic")
+
+
+class TestPackingDensity:
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_payload_size_matches_bits(self, bits):
+        w = np.random.default_rng(1).normal(size=1024)
+        packed = pack_tensor(w, bits, "symmetric")
+        expected_bytes = 1024 * bits / 8
+        assert packed.payload_bytes == pytest.approx(expected_bytes, abs=1)
+
+    def test_6bit_packing_density(self):
+        w = np.random.default_rng(2).normal(size=400)
+        packed = pack_tensor(w, 6, "symmetric")
+        assert packed.payload_bytes == int(np.ceil(400 * 6 / 8))
+
+    def test_mixed_assignment_smaller_than_uniform8(self):
+        rng = np.random.default_rng(3)
+
+        class _L:
+            def __init__(self, name, w):
+                self.name = name
+
+                class _P:
+                    pass
+
+                self.weight = _P()
+                self.weight.data = w
+
+        layers = [_L(f"l{i}", rng.normal(size=256)) for i in range(4)]
+        mixed = export_assignment(layers, [2, 4, 4, 8])
+        uniform = export_assignment(layers, [8, 8, 8, 8])
+        assert sum(t.payload_bytes for t in mixed.values()) < sum(
+            t.payload_bytes for t in uniform.values()
+        )
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(4)
+
+        class _L:
+            def __init__(self, name, w):
+                self.name = name
+
+                class _P:
+                    pass
+
+                self.weight = _P()
+                self.weight.data = w
+
+        layers = [
+            _L("conv1", rng.normal(size=(4, 2, 3, 3))),
+            _L("fc", rng.normal(size=(8, 16))),
+        ]
+        packed = export_assignment(layers, [2, 8], scheme="affine")
+        path = tmp_path / "weights.npz"
+        save_packed(path, packed)
+        loaded = load_packed(path)
+        assert set(loaded) == {"conv1", "fc"}
+        for name in loaded:
+            np.testing.assert_allclose(
+                unpack_tensor(loaded[name]), unpack_tensor(packed[name])
+            )
+            assert loaded[name].bits == packed[name].bits
+            assert loaded[name].scheme == packed[name].scheme
+
+    def test_export_length_mismatch(self):
+        with pytest.raises(ValueError):
+            export_assignment([], [4])
+
+
+class TestRealModelExport:
+    def test_export_resnet_assignment(self, tmp_path):
+        from repro.models import build_model, quantizable_layers
+
+        model = build_model("resnet_s20", num_classes=4)
+        layers = quantizable_layers(model, "resnet_s20")
+        bits = [2, 4, 8] * (len(layers) // 3) + [8] * (len(layers) % 3)
+        packed = export_assignment(layers, bits)
+        total_payload = sum(t.payload_bytes for t in packed.values())
+        expected = sum(
+            int(np.ceil(q.num_params * b / 8))
+            for q, b in zip(layers, bits)
+        )
+        assert total_payload == expected
+        path = tmp_path / "model.npz"
+        save_packed(path, packed)
+        loaded = load_packed(path)
+        for q, b in zip(layers, bits):
+            np.testing.assert_allclose(
+                unpack_tensor(loaded[q.name]),
+                quantize_weight(q.weight.data, int(b), "symmetric"),
+                rtol=1e-5,
+                atol=1e-7,
+            )
