@@ -1,6 +1,6 @@
 # Convenience targets for the CLADO reproduction.
 
-.PHONY: install test bench pretrain smoke reports clean-cache
+.PHONY: install test bench bench-smoke pretrain smoke reports clean-cache
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,6 +14,12 @@ bench:
 # Fast end-to-end pass (small sensitivity sets, few replicates).
 smoke:
 	REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only
+
+# Tiny perf gate: runtime profile + segmented-sweep speedup, appending a
+# JSON row to reports/BENCH_sensitivity_cache.json per run.
+bench-smoke:
+	REPRO_SCALE=smoke pytest benchmarks/bench_runtime.py \
+		benchmarks/bench_sensitivity_cache.py --benchmark-only -q
 
 pretrain:
 	python -m repro pretrain

@@ -61,8 +61,23 @@ def _cmd_allocate(args) -> int:
     algo = ctx.make_algorithm(args.algorithm, args.model, model=model, config=config)
     setup_activation_quant(model, algo.layers, x_sens, bits=config.act_bits)
     print(f"preparing {algo.name} sensitivities on {args.set_size} samples...")
-    algo.prepare(x_sens, y_sens)
+    prepare_kwargs = {}
+    if args.algorithm.startswith("clado"):
+        prepare_kwargs["strategy"] = "naive" if args.naive_sweep else "auto"
+        prepare_kwargs["num_workers"] = args.workers
+        if args.sweep_checkpoint:
+            prepare_kwargs["checkpoint_path"] = args.sweep_checkpoint
+    algo.prepare(x_sens, y_sens, **prepare_kwargs)
     print(f"  done in {algo.prepare_time:.1f}s")
+    raw = getattr(algo, "raw", None)
+    if raw is not None and raw.extras.get("strategy") == "segmented":
+        e = raw.extras
+        print(
+            f"  segmented sweep: {e['workers']} worker(s), "
+            f"{e['num_segments']} segments, "
+            f"{e['resumed_evals']}/{e['plan_evals']} evals resumed, "
+            f"{float(e['segment_work_saved']):.0%} layer-work saved"
+        )
 
     sizes = algo.layer_sizes()
     budget = int(sizes.sum() * args.avg_bits)
@@ -224,6 +239,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="optional compute budget as a fraction of the BOPs range",
     )
     p.add_argument("--export", help="write packed integer weights to this .npz")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the sensitivity sweep (0 = all cores)",
+    )
+    p.add_argument(
+        "--sweep-checkpoint",
+        default=None,
+        help="path for periodic sweep checkpoints; reruns resume from it",
+    )
+    p.add_argument(
+        "--naive-sweep",
+        action="store_true",
+        help="disable prefix-cached segmented replay (full forward per eval)",
+    )
     p.set_defaults(func=_cmd_allocate)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")

@@ -10,6 +10,15 @@ from .evaluate import (
 from .psd import min_eigenvalue, psd_project, psd_violation
 from .qat import QATConfig, qat_finetune
 from .sensitivity import SensitivityEngine, SensitivityResult, block_id_from_name
+from .sweep import (
+    EvalPlan,
+    EvalSpec,
+    GroupPlan,
+    PrefixCache,
+    SweepCheckpoint,
+    build_eval_plan,
+    select_cuts,
+)
 
 __all__ = [
     "CLADO",
@@ -21,6 +30,13 @@ __all__ = [
     "SensitivityEngine",
     "SensitivityResult",
     "block_id_from_name",
+    "EvalPlan",
+    "EvalSpec",
+    "GroupPlan",
+    "PrefixCache",
+    "SweepCheckpoint",
+    "build_eval_plan",
+    "select_cuts",
     "psd_project",
     "min_eigenvalue",
     "psd_violation",

@@ -20,20 +20,42 @@ Cost accounting: ``|B|I`` single-layer evaluations plus
 ``|B|^2 I(I-1)/2`` pair evaluations (plus one baseline evaluation), i.e.
 bounded by the paper's ``(1/2)|B|I(|B|I + 1)`` figure, which also counts
 the structurally-zero same-layer pairs.
+
+Execution strategies
+--------------------
+``"naive"`` runs every evaluation as a full forward pass — the literal
+Algorithm 1.  ``"segmented"`` (the default whenever the model exposes
+``Module.segments``) exploits the locality of weight perturbations:
+activations before the earliest perturbed layer are bitwise unchanged, so
+the clean prefix is checkpointed once per batch, each anchor perturbation
+``(i, b_m)`` replays once from its segment (checkpointing the perturbed
+suffix, which *is* the Eq. 12 evaluation), and each pair ``(i, j)`` replays
+only from layer ``j``'s segment.  Evaluations can additionally fan out
+across fork-based worker processes; the measured matrix is bitwise
+identical across strategies and worker counts because losses are keyed by
+their plan index before assembly.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing as mp
+import os
 import time
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..nn import CrossEntropyLoss
 from ..quant import QuantizedWeightTable
+from .sweep import EvalPlan, PrefixCache, SweepCheckpoint, build_eval_plan, select_cuts
 
 __all__ = ["SensitivityResult", "SensitivityEngine", "block_id_from_name"]
+
+#: Default number of activation checkpoints each prefix cache may hold.
+DEFAULT_CACHE_BUDGET = 16
 
 
 @dataclass
@@ -47,7 +69,7 @@ class SensitivityResult:
     wall_time: float
     mode: str
     bits: Tuple[int, ...] = ()
-    extras: Dict[str, float] = field(default_factory=dict)
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def num_layers(self) -> int:
@@ -84,18 +106,62 @@ def block_id_from_name(name: str) -> str:
     return name
 
 
+# Worker state for fork-based fan-out: set in the parent immediately before
+# the pool is created, inherited copy-on-write by each forked worker.  The
+# quantized-weight table and prefix-cache arrays are shared pages; each
+# worker's weight swaps and forward caches stay process-local.
+_FORK_STATE: Optional[Tuple["SensitivityEngine", EvalPlan, PrefixCache, list, int]] = None
+
+
+def _run_group_worker(group_idx: int):
+    engine, plan, clean, batches, n = _FORK_STATE
+    return group_idx, engine._run_group(plan, group_idx, clean, batches, n)
+
+
 class SensitivityEngine:
-    """Runs Algorithm 1 against a model and a quantized-weight table."""
+    """Runs Algorithm 1 against a model and a quantized-weight table.
+
+    Parameters
+    ----------
+    strategy:
+        ``"auto"`` (segmented when the model supports it), ``"naive"``
+        (full forward per evaluation), or ``"segmented"`` (require the
+        prefix-cached path; raises if the model exposes no segments).
+    num_workers:
+        Fork-based worker processes for the segmented path.  ``0`` means
+        ``os.cpu_count()``; ``1`` (default) runs in-process.  Falls back
+        to serial where ``fork`` is unavailable.
+    cache_budget:
+        Maximum activation checkpoints per prefix cache (memory bound);
+        evaluations starting past an evicted cut recompute from the
+        nearest earlier checkpoint.
+    """
 
     def __init__(
         self,
         model,
         table: QuantizedWeightTable,
         criterion: Optional[CrossEntropyLoss] = None,
+        *,
+        strategy: str = "auto",
+        num_workers: int = 1,
+        cache_budget: Optional[int] = DEFAULT_CACHE_BUDGET,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 32,
     ) -> None:
+        if strategy not in ("auto", "naive", "segmented"):
+            raise ValueError(f"unknown strategy {strategy!r}")
         self.model = model
         self.table = table
         self.criterion = criterion or CrossEntropyLoss()
+        self.strategy = strategy
+        self.num_workers = num_workers
+        self.cache_budget = cache_budget
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self._segments: Optional[list] = None
+        self._layer_segments: Optional[Tuple[int, ...]] = None
+        self._active_cache_budget: Optional[int] = cache_budget
 
     # -- loss of the current weight configuration ------------------------------
     def _loss(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> float:
@@ -106,7 +172,10 @@ class SensitivityEngine:
             xb = x[start : start + batch_size]
             yb = y[start : start + batch_size]
             total += self.criterion.forward(self.model.forward(xb), yb) * len(xb)
-        loss = total / n
+        return self._check_finite(total / n)
+
+    @staticmethod
+    def _check_finite(loss: float) -> float:
         if not np.isfinite(loss):
             # A single non-finite measurement silently poisons the whole
             # sensitivity matrix; fail loudly at the source instead.
@@ -116,6 +185,52 @@ class SensitivityEngine:
             )
         return loss
 
+    # -- segmented-forward support ---------------------------------------------
+    def _segment_map(self) -> Optional[Tuple[list, Tuple[int, ...]]]:
+        """(segments, layer->segment) when every searched layer is covered."""
+        segments = self.model.segments()
+        if segments is None:
+            return None
+        owner: Dict[int, int] = {}
+        for k, seg in enumerate(segments):
+            for _, mod in seg.named_modules():
+                prev = owner.setdefault(id(mod), k)
+                if prev != k:
+                    return None  # module reachable from two segments
+        layer_segments = []
+        for layer in self.table.layers:
+            k = owner.get(id(layer.module))
+            if k is None:
+                return None  # searched layer outside the segment partition
+            layer_segments.append(k)
+        return list(segments), tuple(layer_segments)
+
+    def _resolve_strategy(self, strategy: Optional[str]) -> str:
+        strategy = strategy or self.strategy
+        if strategy not in ("auto", "naive", "segmented"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if strategy == "naive":
+            return "naive"
+        mapping = self._segment_map()
+        if mapping is None:
+            if strategy == "segmented":
+                raise RuntimeError(
+                    "segmented strategy requested but the model does not "
+                    "expose forward segments covering every searched layer"
+                )
+            return "naive"
+        self._segments, self._layer_segments = mapping
+        return "segmented"
+
+    def _resolve_workers(self, num_workers: Optional[int]) -> int:
+        workers = self.num_workers if num_workers is None else num_workers
+        if workers == 0:
+            workers = os.cpu_count() or 1
+        if workers > 1 and "fork" not in mp.get_all_start_methods():
+            workers = 1  # no COW sharing available (e.g. Windows): run serial
+        return max(1, workers)
+
+    # -- public API -------------------------------------------------------------
     def measure(
         self,
         x: np.ndarray,
@@ -125,6 +240,11 @@ class SensitivityEngine:
         batch_size: int = 256,
         progress: Optional[Callable[[int, int], None]] = None,
         symmetric_diag: bool = False,
+        strategy: Optional[str] = None,
+        num_workers: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        cache_budget: Optional[int] = None,
     ) -> SensitivityResult:
         """Measure the sensitivity matrix on the set ``(x, y)``.
 
@@ -146,16 +266,17 @@ class SensitivityEngine:
             gradient term at a not-fully-converged model) cancel, at the
             cost of ``|B|I`` extra loss evaluations.  Cross terms (Eq. 13)
             already cancel the first order and are unchanged.
+        strategy / num_workers / cache_budget / checkpoint_path /
+        checkpoint_every:
+            Per-call overrides of the engine-level execution knobs (see
+            the class docstring).  ``checkpoint_path`` enables periodic
+            persistence of partial losses; re-measuring with the same
+            model, data, and plan resumes instead of restarting.
         """
         if mode not in ("full", "diagonal", "block"):
             raise ValueError(f"unknown mode {mode!r}")
-        t0 = time.time()
         layers = self.table.layers
-        bits = self.table.config.bits
         num_layers = len(layers)
-        nb = len(bits)
-        nvars = num_layers * nb
-
         if mode == "block":
             if blocks is None:
                 blocks = [block_id_from_name(layer.name) for layer in layers]
@@ -169,6 +290,47 @@ class SensitivityEngine:
                     if mode == "block" and blocks[i] != blocks[j]:
                         continue
                     pair_list.append((i, j))
+
+        resolved = self._resolve_strategy(strategy)
+        if resolved == "naive":
+            return self._measure_naive(
+                x, y, mode, pair_list, batch_size, progress, symmetric_diag
+            )
+        return self._measure_segmented(
+            x,
+            y,
+            mode,
+            pair_list,
+            batch_size,
+            progress,
+            symmetric_diag,
+            num_workers=self._resolve_workers(num_workers),
+            cache_budget=(
+                self.cache_budget if cache_budget is None else cache_budget
+            ),
+            checkpoint_path=checkpoint_path or self.checkpoint_path,
+            checkpoint_every=(
+                self.checkpoint_every if checkpoint_every is None else checkpoint_every
+            ),
+        )
+
+    # -- naive strategy: one full forward per evaluation -----------------------
+    def _measure_naive(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        mode: str,
+        pair_list: Sequence[Tuple[int, int]],
+        batch_size: int,
+        progress: Optional[Callable[[int, int], None]],
+        symmetric_diag: bool,
+    ) -> SensitivityResult:
+        t0 = time.time()
+        bits = self.table.config.bits
+        num_layers = len(self.table.layers)
+        nb = len(bits)
+        nvars = num_layers * nb
+
         diag_evals = num_layers * nb * (2 if symmetric_diag else 1)
         total_evals = 1 + diag_evals + len(pair_list) * nb * nb
         done = 0
@@ -191,15 +353,8 @@ class SensitivityEngine:
                 single[i, m] = loss
                 if symmetric_diag:
                     # Mirror point w - Δ = 2w - Q(w): odd orders cancel.
-                    layer = self.table.layers[i]
-                    original = self.table.original[i]
-                    try:
-                        layer.weight.data = (
-                            2.0 * original - self.table.quantized(i, b)
-                        ).astype(original.dtype)
+                    with self.table.mirrored(i, b):
                         minus_loss = self._loss(x, y, batch_size)
-                    finally:
-                        layer.weight.data = original
                     omega_ii = loss + minus_loss - 2.0 * base_loss
                     tick()
                 else:
@@ -225,4 +380,292 @@ class SensitivityEngine:
             wall_time=time.time() - t0,
             mode=mode,
             bits=tuple(bits),
+            extras={"strategy": "naive", "workers": 1},
         )
+
+    # -- segmented strategy: prefix caching + optional process fan-out ----------
+    def _measure_segmented(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        mode: str,
+        pair_list: Sequence[Tuple[int, int]],
+        batch_size: int,
+        progress: Optional[Callable[[int, int], None]],
+        symmetric_diag: bool,
+        num_workers: int,
+        cache_budget: Optional[int],
+        checkpoint_path: Optional[str],
+        checkpoint_every: int,
+    ) -> SensitivityResult:
+        t0 = time.time()
+        bits = self.table.config.bits
+        num_layers = len(self.table.layers)
+        nb = len(bits)
+        nvars = num_layers * nb
+        segments = self._segments
+        layer_segments = self._layer_segments
+        nseg = len(segments)
+
+        self._active_cache_budget = cache_budget
+        plan = build_eval_plan(
+            num_layers, bits, pair_list, layer_segments, nseg, symmetric_diag, mode
+        )
+        total_evals = 1 + plan.num_evals
+        done = 0
+
+        def tick(count: int = 1) -> None:
+            nonlocal done
+            for _ in range(count):
+                done += 1
+                if progress is not None:
+                    progress(done, total_evals)
+
+        t_plan = time.time() - t0
+
+        # Clean prefix pass: one full forward per batch, checkpointing the
+        # cuts replays start from; the final outputs give the base loss.
+        self.model.eval()
+        n = len(x)
+        batches = [
+            (x[s : s + batch_size], y[s : s + batch_size])
+            for s in range(0, n, batch_size)
+        ]
+        clean_freq: Counter = Counter()
+        for g in plan.groups:
+            clean_freq[g.segment] += 2 if g.mirror is not None else 1
+            for p in g.pairs:
+                if p.start_segment < g.segment:
+                    clean_freq[p.start_segment] += 1
+        clean = PrefixCache(segments, select_cuts(clean_freq, cache_budget) | {0})
+        base_total = 0.0
+        for b, (xb, yb) in enumerate(batches):
+            a = xb
+            for k, seg in enumerate(segments):
+                clean.put(b, k, a)
+                a = seg.forward(a)
+            base_total += self.criterion.forward(a, yb) * len(xb)
+        base_loss = self._check_finite(base_total / n)
+        tick()
+        t_prefix = time.time() - t0 - t_plan
+
+        checkpoint: Optional[SweepCheckpoint] = None
+        losses: Dict[int, float] = {}
+        if checkpoint_path:
+            fingerprint = plan.fingerprint(self._data_fingerprint(x, y, batch_size))
+            checkpoint = SweepCheckpoint(
+                checkpoint_path, fingerprint, every=checkpoint_every
+            )
+            losses = checkpoint.load()
+        # A group reruns in full unless every one of its losses was restored.
+        pending = [
+            gi
+            for gi, g in enumerate(plan.groups)
+            if any(s.index not in losses for s in g.specs())
+        ]
+        resumed = plan.num_evals - sum(
+            sum(1 for _ in plan.groups[gi].specs()) for gi in pending
+        )
+        tick(resumed)
+
+        segment_work = 0
+        workers = min(num_workers, max(1, len(pending)))
+        t_eval_start = time.time()
+        try:
+            if workers > 1:
+                segment_work += self._run_groups_parallel(
+                    plan, pending, clean, batches, n, workers,
+                    losses, checkpoint, tick,
+                )
+            else:
+                for gi in pending:
+                    results, work = self._run_group(plan, gi, clean, batches, n)
+                    segment_work += work
+                    for index, loss in results:
+                        losses[index] = loss
+                        if checkpoint is not None:
+                            checkpoint.record(index, loss)
+                    tick(len(results))
+        finally:
+            if checkpoint is not None:
+                checkpoint.flush()
+        t_evals = time.time() - t_eval_start
+
+        # Deterministic reassembly: entries depend only on plan indices, so
+        # the matrix is independent of execution order and worker count.
+        matrix = np.zeros((nvars, nvars))
+        single = np.zeros((num_layers, nb))
+        for g in plan.groups:
+            loss = losses[g.diag.index]
+            single[g.i, g.m] = loss
+            if g.mirror is not None:
+                omega_ii = loss + losses[g.mirror.index] - 2.0 * base_loss
+            else:
+                omega_ii = 2.0 * (loss - base_loss)
+            matrix[g.i * nb + g.m, g.i * nb + g.m] = omega_ii
+        for g in plan.groups:
+            for p in g.pairs:
+                omega = (
+                    losses[p.index] + base_loss - single[p.i, p.m] - single[p.j, p.n]
+                )
+                matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
+                matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
+
+        wall = time.time() - t0
+        num_batches = len(batches)
+        prefix_work = nseg * num_batches
+        naive_work = total_evals * nseg * num_batches
+        executed = plan.num_evals - resumed
+        extras: Dict[str, object] = {
+            "strategy": "segmented",
+            "workers": workers,
+            "num_segments": nseg,
+            "plan_groups": len(plan.groups),
+            "plan_evals": plan.num_evals,
+            "resumed_evals": resumed,
+            "executed_evals": executed,
+            "prefix_cuts_cached": clean.num_checkpoints,
+            "cache_budget": -1 if cache_budget is None else cache_budget,
+            "segment_forwards": prefix_work + segment_work,
+            "segment_forwards_naive": naive_work,
+            "segment_work_saved": 1.0
+            - (prefix_work + segment_work) / max(1, naive_work),
+            "time_plan": t_plan,
+            "time_prefix": t_prefix,
+            "time_evals": t_evals,
+            "time_total": wall,
+            "evals_per_sec": executed / t_evals if t_evals > 0 else float("inf"),
+        }
+        return SensitivityResult(
+            matrix=matrix,
+            base_loss=base_loss,
+            single_losses=single,
+            num_evals=total_evals,
+            wall_time=wall,
+            mode=mode,
+            bits=tuple(bits),
+            extras=extras,
+        )
+
+    def _data_fingerprint(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> str:
+        """Ties a resume checkpoint to the exact data, weights, and batching."""
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(x).tobytes())
+        h.update(np.ascontiguousarray(y).tobytes())
+        for original in self.table.original:
+            h.update(np.ascontiguousarray(original).tobytes())
+        h.update(str(batch_size).encode())
+        return h.hexdigest()
+
+    def _run_groups_parallel(
+        self,
+        plan: EvalPlan,
+        pending: Sequence[int],
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+        workers: int,
+        losses: Dict[int, float],
+        checkpoint: Optional[SweepCheckpoint],
+        tick: Callable[[int], None],
+    ) -> int:
+        """Fan groups out across fork-based workers; collect by plan index."""
+        global _FORK_STATE
+        ctx = mp.get_context("fork")
+        segment_work = 0
+        _FORK_STATE = (self, plan, clean, batches, n)
+        try:
+            with ctx.Pool(processes=workers) as pool:
+                chunksize = max(1, len(pending) // (workers * 4))
+                for _, (results, work) in pool.imap_unordered(
+                    _run_group_worker, pending, chunksize=chunksize
+                ):
+                    segment_work += work
+                    for index, loss in results:
+                        losses[index] = loss
+                        if checkpoint is not None:
+                            checkpoint.record(index, loss)
+                    tick(len(results))
+        finally:
+            _FORK_STATE = None
+        return segment_work
+
+    def _replay(self, start: int, activation: np.ndarray) -> Tuple[np.ndarray, int]:
+        segments = self._segments
+        for k in range(start, len(segments)):
+            activation = segments[k].forward(activation)
+        return activation, len(segments) - start
+
+    def _run_group(
+        self,
+        plan: EvalPlan,
+        group_idx: int,
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+    ) -> Tuple[List[Tuple[int, float]], int]:
+        """All evaluations of one anchor group ``(i, b_m)``.
+
+        The diagonal replay doubles as the construction pass of the
+        group's perturbed-suffix cache: activations entering each partner
+        segment (with ``(i, b_m)`` applied) are checkpointed, so every
+        pair evaluation replays only from its partner's segment.
+        Returns ``((plan_index, loss), ...)`` plus the number of
+        segment-forwards spent.
+        """
+        g = plan.groups[group_idx]
+        bits = plan.bits
+        segments = self._segments
+        nseg = plan.num_segments
+        out: List[Tuple[int, float]] = []
+        work = 0
+        clean_work0 = clean.recomputed_segments
+
+        group_freq = Counter(
+            p.start_segment for p in g.pairs if p.start_segment > g.segment
+        )
+        group_cache = PrefixCache(
+            segments, select_cuts(group_freq, self._active_cache_budget) | {g.segment}
+        )
+
+        with self.table.perturbed((g.i, bits[g.m])):
+            # Diagonal evaluation + perturbed-suffix checkpointing.
+            total = 0.0
+            for b, (xb, yb) in enumerate(batches):
+                a = clean.activation(b, g.segment)
+                for k in range(g.segment, nseg):
+                    group_cache.put(b, k, a)
+                    a = segments[k].forward(a)
+                    work += 1
+                total += self.criterion.forward(a, yb) * len(xb)
+            out.append((g.diag.index, self._check_finite(total / n)))
+
+            for p in g.pairs:
+                with self.table.perturbed((p.j, bits[p.n])):
+                    total = 0.0
+                    for b, (xb, yb) in enumerate(batches):
+                        if p.start_segment >= g.segment:
+                            a = group_cache.activation(b, p.start_segment)
+                        else:
+                            # Partner sits before the anchor segment (layer
+                            # enumeration not in forward order): both
+                            # perturbations are applied, replay from clean.
+                            a = clean.activation(b, p.start_segment)
+                        a, replayed = self._replay(p.start_segment, a)
+                        work += replayed
+                        total += self.criterion.forward(a, yb) * len(xb)
+                    out.append((p.index, self._check_finite(total / n)))
+
+        if g.mirror is not None:
+            with self.table.mirrored(g.i, bits[g.m]):
+                total = 0.0
+                for b, (xb, yb) in enumerate(batches):
+                    a = clean.activation(b, g.segment)
+                    a, replayed = self._replay(g.segment, a)
+                    work += replayed
+                    total += self.criterion.forward(a, yb) * len(xb)
+                out.append((g.mirror.index, self._check_finite(total / n)))
+
+        work += clean.recomputed_segments - clean_work0
+        work += group_cache.recomputed_segments
+        return out, work

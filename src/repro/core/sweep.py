@@ -1,0 +1,341 @@
+"""Sweep planning, prefix-activation caching, and resume for Algorithm 1.
+
+The naive sensitivity sweep re-runs every layer of the network for every
+perturbation, although perturbing layer ``i`` leaves all activations before
+``i`` bitwise unchanged.  This module holds the machinery the segmented
+engine (``repro.core.sensitivity``) uses to exploit that locality:
+
+- :func:`build_eval_plan` — an explicit, deterministic schedule of every
+  loss evaluation, grouped by anchor perturbation ``(i, b_m)`` and ordered
+  by descending start segment, with a per-eval earliest-perturbed-segment
+  and replay-cost estimate;
+- :class:`PrefixCache` — bounded per-batch activation checkpoints at
+  segment cut points, recomputing past evicted cuts;
+- :class:`SweepCheckpoint` — periodic persistence of partial losses so a
+  killed sweep resumes instead of restarting.
+
+Cost model (see ``docs/algorithm.md`` §3a): with ``K`` segments, the naive
+engine pays ``K`` segment-forwards per evaluation.  The segmented engine
+pays the clean prefix once per batch, one replay from ``seg(i)`` per group
+``(i, b_m)`` (which doubles as the Eq. 12 diagonal evaluation while
+checkpointing the perturbed suffix), and only the suffix from ``seg(j)``
+for every pair ``(i, j, b_m, b_n)``.  Late-layer pairs become near-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EvalSpec",
+    "GroupPlan",
+    "EvalPlan",
+    "build_eval_plan",
+    "select_cuts",
+    "PrefixCache",
+    "SweepCheckpoint",
+]
+
+
+# ---------------------------------------------------------------------------
+# Eval plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """One loss evaluation of the sweep.
+
+    ``index`` is the stable position in plan order — the key under which
+    the measured loss is checkpointed and reassembled, which makes the
+    resulting matrix independent of execution order and worker count.
+    """
+
+    index: int
+    kind: str  # "diag" | "mirror" | "pair"
+    i: int  # anchor layer
+    m: int  # anchor bit-choice index
+    j: int = -1  # partner layer (pairs only)
+    n: int = -1  # partner bit-choice index (pairs only)
+    start_segment: int = 0  # earliest segment the replay must re-run
+    cost: int = 0  # segments replayed per batch
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """All evaluations sharing the anchor perturbation ``(i, b_m)``.
+
+    The group's diagonal evaluation replays from ``segment`` and
+    checkpoints the perturbed suffix on the way; every pair evaluation
+    then replays only from its partner's segment.
+    """
+
+    i: int
+    m: int
+    segment: int
+    diag: EvalSpec
+    mirror: Optional[EvalSpec]
+    pairs: Tuple[EvalSpec, ...]
+
+    def specs(self) -> Iterator[EvalSpec]:
+        yield self.diag
+        if self.mirror is not None:
+            yield self.mirror
+        yield from self.pairs
+
+
+@dataclass(frozen=True)
+class EvalPlan:
+    """Deterministic schedule for one sensitivity sweep."""
+
+    groups: Tuple[GroupPlan, ...]
+    num_segments: int
+    num_layers: int
+    layer_segments: Tuple[int, ...]
+    bits: Tuple[int, ...]
+    mode: str
+    symmetric_diag: bool
+
+    def specs(self) -> Iterator[EvalSpec]:
+        for group in self.groups:
+            yield from group.specs()
+
+    @property
+    def num_evals(self) -> int:
+        """Loss evaluations in the plan (the base evaluation not included)."""
+        return sum(
+            1 + (1 if g.mirror is not None else 0) + len(g.pairs)
+            for g in self.groups
+        )
+
+    @property
+    def planned_segment_cost(self) -> int:
+        """Segment-forwards per batch the plan replays (group setups incl.)."""
+        return sum(spec.cost for spec in self.specs())
+
+    @property
+    def naive_segment_cost(self) -> int:
+        """Segment-forwards per batch a full-forward-per-eval engine pays."""
+        return self.num_evals * self.num_segments
+
+    def fingerprint(self, extra: str = "") -> str:
+        """Structural hash guarding checkpoint resume against plan drift."""
+        payload = json.dumps(
+            {
+                "mode": self.mode,
+                "bits": list(self.bits),
+                "symmetric_diag": self.symmetric_diag,
+                "num_segments": self.num_segments,
+                "layer_segments": list(self.layer_segments),
+                "evals": [
+                    (s.index, s.kind, s.i, s.m, s.j, s.n) for s in self.specs()
+                ],
+                "extra": extra,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def build_eval_plan(
+    num_layers: int,
+    bits: Sequence[int],
+    pair_list: Sequence[Tuple[int, int]],
+    layer_segments: Sequence[int],
+    num_segments: int,
+    symmetric_diag: bool,
+    mode: str,
+) -> EvalPlan:
+    """Schedule every evaluation of Algorithm 1 for segmented execution.
+
+    Groups are ordered by descending start segment (then descending layer
+    index): late-layer anchors come first, so their short suffixes drain
+    quickly and a killed sweep has checkpointed the cheap evaluations
+    before committing to the expensive early-layer ones.  Pair evaluations
+    replay from the partner's segment — the anchor perturbation is already
+    baked into the group's suffix checkpoints.
+    """
+    partners: Dict[int, List[int]] = defaultdict(list)
+    for i, j in pair_list:
+        partners[i].append(j)
+    nb = len(bits)
+    order = sorted(
+        range(num_layers), key=lambda i: (layer_segments[i], i), reverse=True
+    )
+    groups: List[GroupPlan] = []
+    index = 0
+    for i in order:
+        seg_i = layer_segments[i]
+        for m in range(nb):
+            diag = EvalSpec(
+                index, "diag", i, m,
+                start_segment=seg_i, cost=num_segments - seg_i,
+            )
+            index += 1
+            mirror = None
+            if symmetric_diag:
+                mirror = EvalSpec(
+                    index, "mirror", i, m,
+                    start_segment=seg_i, cost=num_segments - seg_i,
+                )
+                index += 1
+            pair_specs: List[EvalSpec] = []
+            for j in sorted(partners.get(i, ())):
+                seg_j = layer_segments[j]
+                for n in range(nb):
+                    pair_specs.append(
+                        EvalSpec(
+                            index, "pair", i, m, j, n,
+                            start_segment=seg_j, cost=num_segments - seg_j,
+                        )
+                    )
+                    index += 1
+            groups.append(
+                GroupPlan(
+                    i=i, m=m, segment=seg_i,
+                    diag=diag, mirror=mirror, pairs=tuple(pair_specs),
+                )
+            )
+    return EvalPlan(
+        groups=tuple(groups),
+        num_segments=num_segments,
+        num_layers=num_layers,
+        layer_segments=tuple(layer_segments),
+        bits=tuple(int(b) for b in bits),
+        mode=mode,
+        symmetric_diag=symmetric_diag,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prefix-activation cache
+# ---------------------------------------------------------------------------
+
+
+def select_cuts(freq: Mapping[int, int], budget: Optional[int]) -> Set[int]:
+    """Pick which cut points to checkpoint under a memory budget.
+
+    Scores each candidate by ``frequency * cut`` — how often a replay
+    starts there times how much prefix work a stored checkpoint saves —
+    and keeps the ``budget`` hottest.  Cut 0 (the raw input batch) is free
+    and never counts against the budget.  ``budget=None`` keeps all.
+    """
+    candidates = [c for c, f in freq.items() if f > 0 and c > 0]
+    if budget is None or len(candidates) <= budget:
+        return set(candidates)
+    ranked = sorted(candidates, key=lambda c: (freq[c] * c, c), reverse=True)
+    return set(ranked[: max(0, budget)])
+
+
+class PrefixCache:
+    """Per-batch activation checkpoints at a bounded set of segment cuts.
+
+    ``activation(batch, cut)`` returns the input of segment ``cut``,
+    recomputing forward from the nearest earlier stored checkpoint when
+    the requested cut was not kept (the configurable memory/compute
+    trade-off).  Replayed segments run under the caller's *current*
+    weights; callers must guarantee that no perturbed layer sits strictly
+    before the requested cut — the invariant the segmented engine
+    maintains by construction.
+    """
+
+    def __init__(self, segments: Sequence, kept_cuts: Sequence[int]) -> None:
+        self.segments = list(segments)
+        self.kept: Set[int] = set(kept_cuts)
+        self._store: Dict[Tuple[int, int], np.ndarray] = {}
+        self.hits = 0
+        self.recomputed_segments = 0
+
+    def put(self, batch: int, cut: int, activation: np.ndarray) -> None:
+        """Store a checkpoint if ``cut`` is within the kept set."""
+        if cut in self.kept:
+            self._store[(batch, cut)] = activation
+
+    def activation(self, batch: int, cut: int) -> np.ndarray:
+        if (batch, cut) in self._store:
+            self.hits += 1
+            return self._store[(batch, cut)]
+        stored = [c for (b, c) in self._store if b == batch and c <= cut]
+        if not stored:
+            raise KeyError(
+                f"no checkpoint at or before cut {cut} for batch {batch}"
+            )
+        base = max(stored)
+        x = self._store[(batch, base)]
+        for k in range(base, cut):
+            x = self.segments[k].forward(x)
+            self.recomputed_segments += 1
+        return x
+
+    @property
+    def num_checkpoints(self) -> int:
+        return len(self._store)
+
+
+# ---------------------------------------------------------------------------
+# Resume checkpointing
+# ---------------------------------------------------------------------------
+
+
+class SweepCheckpoint:
+    """Periodic persistence of partial sweep losses for resume.
+
+    Losses are stored as ``(index, loss)`` pairs keyed by the plan order,
+    together with the plan fingerprint; a checkpoint written by a
+    different plan (model, mode, data, batching...) is ignored rather
+    than silently corrupting the matrix.  Writes are atomic
+    (tmp + rename), so a sweep killed mid-save still resumes.
+    """
+
+    def __init__(self, path, fingerprint: str, every: int = 32) -> None:
+        self.path = str(path)
+        self.fingerprint = fingerprint
+        self.every = max(1, int(every))
+        self._losses: Dict[int, float] = {}
+        self._unsaved = 0
+
+    def load(self) -> Dict[int, float]:
+        """Losses from a prior run of the same plan ({} when none usable)."""
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with np.load(self.path, allow_pickle=False) as blob:
+                if str(blob["fingerprint"][()]) != self.fingerprint:
+                    return {}
+                indices = blob["indices"]
+                losses = blob["losses"]
+        except Exception:
+            return {}  # corrupt/partial file: restart rather than crash
+        self._losses = {int(i): float(v) for i, v in zip(indices, losses)}
+        return dict(self._losses)
+
+    def record(self, index: int, loss: float) -> None:
+        self._losses[index] = float(loss)
+        self._unsaved += 1
+        if self._unsaved >= self.every:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._unsaved and os.path.exists(self.path):
+            return
+        tmp = self.path + ".tmp"
+        indices = np.asarray(sorted(self._losses), dtype=np.int64)
+        losses = np.asarray(
+            [self._losses[int(i)] for i in indices], dtype=np.float64
+        )
+        with open(tmp, "wb") as fh:
+            np.savez(
+                fh,
+                indices=indices,
+                losses=losses,
+                fingerprint=np.asarray(self.fingerprint),
+            )
+        os.replace(tmp, self.path)
+        self._unsaved = 0

@@ -8,7 +8,7 @@ measured wall time on this substrate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..models import quantizable_layers
@@ -24,6 +24,9 @@ class RuntimeRow:
     forward_evals: int
     backward_passes: int
     wall_seconds: float
+    # Engine-reported execution details (strategy, workers, cache stats...)
+    # for algorithms that expose them; empty for closed-form baselines.
+    details: Dict[str, object] = field(default_factory=dict)
 
 
 def run_runtime(
@@ -55,12 +58,17 @@ def run_runtime(
         else:  # mpqco
             evals = 0
             backward = (set_size + 255) // 256
+        details: Dict[str, object] = {}
+        raw = getattr(algo, "raw", None)
+        if raw is not None and getattr(raw, "extras", None):
+            details = dict(raw.extras)
         rows.append(
             RuntimeRow(
                 algorithm=algo.name,
                 forward_evals=evals,
                 backward_passes=backward,
                 wall_seconds=algo.prepare_time,
+                details=details,
             )
         )
     return rows
@@ -77,4 +85,14 @@ def format_runtime(model_name: str, rows: Sequence[RuntimeRow]) -> str:
             f"{row.algorithm:<12}{row.forward_evals:>12}"
             f"{row.backward_passes:>12}{row.wall_seconds:>12.1f}"
         )
+    for row in rows:
+        d = row.details
+        if d.get("strategy") == "segmented":
+            saved = float(d.get("segment_work_saved", 0.0))
+            lines.append(
+                f"  {row.algorithm}: segmented sweep, "
+                f"{d.get('workers', 1)} worker(s), "
+                f"{d.get('num_segments', '?')} segments, "
+                f"{saved:.0%} layer-work saved vs full replays"
+            )
     return "\n".join(lines)

@@ -20,6 +20,7 @@ from ..nn import (
     InvertedResidual,
     Linear,
     Module,
+    Sequential,
 )
 
 __all__ = ["MobileNetS", "mobilenet_s"]
@@ -70,6 +71,13 @@ class MobileNetS(Module):
         for block in reversed(self.features):
             g = block.backward(g)
         return self.stem.backward(g)
+
+    def segments(self):
+        """Stem, each inverted-residual block, then the head/classifier."""
+        tail = Sequential(
+            self.head, self.pool, self.pre_classifier, self.act, self.classifier
+        )
+        return [self.stem, *self.features, tail]
 
 
 def mobilenet_s(num_classes: int = 10, seed: int = 13) -> MobileNetS:

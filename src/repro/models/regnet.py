@@ -56,6 +56,11 @@ class RegNetS(Module):
             g = stage.backward(g)
         return self.stem.backward(g)
 
+    def segments(self):
+        """Stem, each X-block, then the pooled classifier head."""
+        blocks = [block for stage in self.stages for block in stage.layers]
+        return [self.stem, *blocks, Sequential(self.pool, self.fc)]
+
 
 def regnet_s(num_classes: int = 10, seed: int = 14) -> RegNetS:
     rng = np.random.default_rng(seed)

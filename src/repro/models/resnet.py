@@ -86,6 +86,11 @@ class ResNet(Module):
             g = stage.backward(g)
         return self.stem.backward(g)
 
+    def segments(self) -> List[Module]:
+        """Stem, each residual block, then the pooled classifier head."""
+        blocks = [block for stage in self.stages for block in stage.layers]
+        return [self.stem, *blocks, Sequential(self.pool, self.fc)]
+
 
 def resnet_s20(num_classes: int = 10, seed: int = 10) -> ResNet:
     """Tiny CIFAR-style ResNet-20 analogue (Table 2 exact-Hessian model)."""

@@ -18,6 +18,8 @@ from ..nn import (
     Linear,
     Module,
     PatchEmbed,
+    SelectToken,
+    Sequential,
     TransformerEncoderBlock,
 )
 
@@ -70,6 +72,11 @@ class ViTS(Module):
         for block in reversed(self.layer):
             g = block.backward(g)
         return self.embed.backward(g)
+
+    def segments(self):
+        """Patch embedding, each encoder block, then the class-token head."""
+        tail = Sequential(self.norm, SelectToken(0), self.classifier)
+        return [self.embed, *self.layer, tail]
 
 
 def vit_s(num_classes: int = 10, seed: int = 15) -> ViTS:

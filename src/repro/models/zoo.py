@@ -149,14 +149,23 @@ def get_pretrained(
     model = build_model(name, num_classes=dataset.config.num_classes)
     path = cache_dir() / "models" / f"{name}-c{dataset.config.num_classes}.npz"
     if path.exists() and not retrain:
-        blob = np.load(path, allow_pickle=False)
-        state = {k[6:]: blob[k] for k in blob.files if k.startswith("state/")}
-        metrics = {
-            k[8:]: float(blob[k][()]) for k in blob.files if k.startswith("metrics/")
-        }
-        model.load_state_dict(state)
-        model.eval()
-        return model, metrics
+        try:
+            blob = np.load(path, allow_pickle=False)
+            state = {k[6:]: blob[k] for k in blob.files if k.startswith("state/")}
+            metrics = {
+                k[8:]: float(blob[k][()])
+                for k in blob.files
+                if k.startswith("metrics/")
+            }
+            model.load_state_dict(state)
+        except Exception as exc:
+            # A truncated/corrupt cache (e.g. interrupted save) should cost
+            # a retrain, not crash every downstream experiment.
+            if verbose:
+                print(f"cached model {path} unreadable ({exc!r}); retraining")
+        else:
+            model.eval()
+            return model, metrics
 
     recipe = _RECIPES.get(name, TrainConfig())
     if verbose:

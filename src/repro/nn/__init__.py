@@ -33,6 +33,7 @@ from .layers import (
     Linear,
     MaxPool2d,
     ReLU,
+    SelectToken,
     Sigmoid,
     SiLU,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "Flatten",
     "Dropout",
     "Identity",
+    "SelectToken",
     "ConvBNAct",
     "BasicBlock",
     "Bottleneck",

@@ -33,6 +33,7 @@ __all__ = [
     "Flatten",
     "Dropout",
     "Identity",
+    "SelectToken",
 ]
 
 
@@ -418,3 +419,26 @@ class Identity(Module):
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         return grad_out
+
+
+class SelectToken(Module, _CacheMixin):
+    """Select one token from a ``(N, T, D)`` sequence, producing ``(N, D)``.
+
+    ``SelectToken(0)`` is the class-token readout of ViT-style models; as a
+    standalone module it lets the classification head participate in the
+    segmented-forward protocol (see ``Module.segments``).
+    """
+
+    def __init__(self, index: int = 0) -> None:
+        super().__init__()
+        self.index = index
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._cache = x.shape
+        return x[:, self.index, :]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        shape = self._take_cache()
+        grad = np.zeros(shape, dtype=grad_out.dtype)
+        grad[:, self.index, :] = grad_out
+        return grad

@@ -14,7 +14,7 @@ and avoids the machinery of a general autograd engine.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -88,6 +88,67 @@ class Module:
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
+
+    # -- segmented forward -------------------------------------------------
+    def segments(self) -> Optional[List["Module"]]:
+        """Ordered partition of ``forward`` into coarse stages, or ``None``.
+
+        When a model returns a list ``[s_0, ..., s_{K-1}]`` here, applying
+        ``s_0`` through ``s_{K-1}`` in order must be numerically identical
+        to ``forward``.  This is the contract the segmented sensitivity
+        sweeps rely on: activations at segment boundaries ("cut points")
+        can be checkpointed once and replayed from any cut, skipping the
+        clean prefix of a perturbed forward pass entirely.  Containers may
+        return freshly-built wrapper modules; only the identity of the
+        *leaf* modules inside each segment matters to callers.
+        """
+        return None
+
+    def forward_from(self, cut: int, x: np.ndarray) -> np.ndarray:
+        """Replay ``forward`` from segment ``cut`` given that cut's input.
+
+        ``forward_from(0, x)`` is equivalent to ``forward(x)`` for any
+        module implementing :meth:`segments`.
+        """
+        segs = self.segments()
+        if segs is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not expose forward segments"
+            )
+        if not 0 <= cut <= len(segs):
+            raise IndexError(f"cut {cut} out of range for {len(segs)} segments")
+        for seg in segs[cut:]:
+            x = seg.forward(x)
+        return x
+
+    def checkpoint_activations(
+        self, x: np.ndarray, cuts: Sequence[int]
+    ) -> Tuple[Dict[int, np.ndarray], np.ndarray]:
+        """One forward pass capturing the activations entering each cut.
+
+        Returns ``(checkpoints, output)`` where ``checkpoints[k]`` is the
+        input of segment ``k`` (``k == len(segments)`` yields the final
+        output).  The pass costs exactly one full forward; the checkpoints
+        are the raw activation arrays (not copies), so callers must treat
+        them as read-only.
+        """
+        segs = self.segments()
+        if segs is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} does not expose forward segments"
+            )
+        wanted = set(cuts)
+        bad = [k for k in wanted if not 0 <= k <= len(segs)]
+        if bad:
+            raise IndexError(f"cuts {sorted(bad)} out of range for {len(segs)} segments")
+        checkpoints: Dict[int, np.ndarray] = {}
+        for k, seg in enumerate(segs):
+            if k in wanted:
+                checkpoints[k] = x
+            x = seg.forward(x)
+        if len(segs) in wanted:
+            checkpoints[len(segs)] = x
+        return checkpoints, x
 
     # -- traversal ---------------------------------------------------------
     def _direct_parameters(self) -> Iterator[Tuple[str, Parameter]]:
@@ -189,6 +250,9 @@ class Sequential(Module):
 
     def __getitem__(self, idx: int) -> Module:
         return self.layers[idx]
+
+    def segments(self) -> List[Module]:
+        return list(self.layers)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:

@@ -115,3 +115,23 @@ class QuantizedWeightTable:
         finally:
             for layer_idx, _ in pairs:
                 self.set_layer(layer_idx, None)
+
+    def mirror(self, layer_idx: int, bits: int) -> np.ndarray:
+        """Mirror point ``w - Δ = 2w - Q(w, b)`` of one layer's perturbation.
+
+        Used by the symmetric second-difference diagonal measurement:
+        evaluating at ``w + Δ`` and ``w - Δ`` cancels odd Taylor orders.
+        """
+        original = self.original[layer_idx]
+        return (2.0 * original - self.quantized(layer_idx, bits)).astype(
+            original.dtype
+        )
+
+    @contextmanager
+    def mirrored(self, layer_idx: int, bits: int) -> Iterator[None]:
+        """Context manager swapping in the mirror point; restores on exit."""
+        try:
+            self.layers[layer_idx].weight.data = self.mirror(layer_idx, bits)
+            yield
+        finally:
+            self.set_layer(layer_idx, None)

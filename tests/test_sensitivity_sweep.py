@@ -1,0 +1,332 @@
+"""Segmented/parallel sensitivity sweeps: equivalence with the naive engine,
+plan/cache/checkpoint machinery, segmented-forward model support."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EvalPlan,
+    PrefixCache,
+    SensitivityEngine,
+    SweepCheckpoint,
+    build_eval_plan,
+    select_cuts,
+)
+from repro.models import MODEL_REGISTRY, build_model, quantizable_layers
+from repro.nn import CrossEntropyLoss, Linear, Module, ReLU, Sequential
+from repro.quant import QuantConfig, QuantizedWeightTable
+
+
+class _QLayer:
+    def __init__(self, idx, name, module):
+        self.index, self.name, self.module = idx, name, module
+
+    @property
+    def weight(self):
+        return self.module.weight
+
+    @property
+    def num_params(self):
+        return self.module.weight.size
+
+
+def _deep_mlp(num_linear=8, dim=6, num_classes=3, seed=0):
+    """Sequential MLP: each Linear (+ ReLU) is its own forward segment."""
+    rng = np.random.default_rng(seed)
+    mods = []
+    for k in range(num_linear - 1):
+        mods.append(Linear(dim if k else 4, dim, rng=rng))
+        mods.append(ReLU())
+    mods.append(Linear(dim, num_classes, rng=rng))
+    model = Sequential(*mods)
+    model.eval()
+    linears = [m for m in mods if isinstance(m, Linear)]
+    layers = [_QLayer(i, f"fc{i}", m) for i, m in enumerate(linears)]
+    return model, layers
+
+
+@pytest.fixture(scope="module")
+def mlp_setup():
+    model, layers = _deep_mlp()
+    table = QuantizedWeightTable(layers, QuantConfig(bits=(4, 8)))
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(20, 4)).astype(np.float32)
+    y = rng.integers(0, 3, size=20)
+    return model, layers, table, x, y
+
+
+class TestNaiveSegmentedEquivalence:
+    """The acceptance property: cached/parallel results equal naive results."""
+
+    @pytest.mark.parametrize("mode", ["full", "diagonal", "block"])
+    @pytest.mark.parametrize("symmetric_diag", [False, True])
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matrix_matches_naive(self, mlp_setup, mode, symmetric_diag, workers):
+        model, layers, table, x, y = mlp_setup
+        blocks = ["a", "a", "a", "b", "b", "b", "c", "c"] if mode == "block" else None
+        kwargs = dict(
+            mode=mode,
+            blocks=blocks,
+            batch_size=8,
+            symmetric_diag=symmetric_diag,
+        )
+        naive = SensitivityEngine(model, table, strategy="naive").measure(
+            x, y, **kwargs
+        )
+        fast = SensitivityEngine(
+            model, table, strategy="segmented", num_workers=workers
+        ).measure(x, y, **kwargs)
+        assert fast.extras["strategy"] == "segmented"
+        np.testing.assert_allclose(fast.matrix, naive.matrix, atol=1e-6)
+        np.testing.assert_allclose(
+            fast.single_losses, naive.single_losses, atol=1e-6
+        )
+        assert fast.base_loss == pytest.approx(naive.base_loss, abs=1e-6)
+        assert fast.num_evals == naive.num_evals
+
+    def test_segmented_does_less_layer_work(self, mlp_setup):
+        model, layers, table, x, y = mlp_setup
+        result = SensitivityEngine(model, table, strategy="segmented").measure(
+            x, y, batch_size=8
+        )
+        assert result.extras["segment_forwards"] < result.extras[
+            "segment_forwards_naive"
+        ]
+        assert result.extras["segment_work_saved"] > 0.3
+
+    def test_tight_cache_budget_still_exact(self, mlp_setup):
+        model, layers, table, x, y = mlp_setup
+        naive = SensitivityEngine(model, table, strategy="naive").measure(
+            x, y, batch_size=8
+        )
+        tight = SensitivityEngine(
+            model, table, strategy="segmented", cache_budget=2
+        ).measure(x, y, batch_size=8)
+        np.testing.assert_allclose(tight.matrix, naive.matrix, atol=1e-6)
+
+    def test_weights_restored_and_progress_complete(self, mlp_setup):
+        model, layers, table, x, y = mlp_setup
+        before = [layer.weight.data.copy() for layer in layers]
+        calls = []
+        SensitivityEngine(model, table, strategy="segmented").measure(
+            x, y, batch_size=8, progress=lambda d, t: calls.append((d, t))
+        )
+        for layer, b in zip(layers, before):
+            np.testing.assert_array_equal(layer.weight.data, b)
+        assert calls[-1][0] == calls[-1][1]
+        assert len(calls) == calls[-1][1]
+
+
+class TestStrategySelection:
+    def test_auto_falls_back_without_segments(self, mlp_setup):
+        class Opaque(Module):
+            def __init__(self, inner):
+                super().__init__()
+                self.inner = inner
+
+            def forward(self, x):
+                return self.inner.forward(x)
+
+        _, layers = _deep_mlp()
+        model = Opaque(Sequential(*[l.module for l in layers]))
+        model.eval()
+        table = QuantizedWeightTable(layers, QuantConfig(bits=(4, 8)))
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(8, 4)).astype(np.float32)
+        y = rng.integers(0, 3, size=8)
+        result = SensitivityEngine(model, table).measure(x, y, mode="diagonal")
+        assert result.extras["strategy"] == "naive"
+        with pytest.raises(RuntimeError):
+            SensitivityEngine(model, table, strategy="segmented").measure(x, y)
+
+    def test_unknown_strategy_rejected(self, mlp_setup):
+        model, layers, table, x, y = mlp_setup
+        with pytest.raises(ValueError):
+            SensitivityEngine(model, table, strategy="warp")
+        with pytest.raises(ValueError):
+            SensitivityEngine(model, table).measure(x, y, strategy="warp")
+
+
+class TestResume:
+    def test_checkpoint_resume_skips_completed_groups(self, mlp_setup, tmp_path):
+        model, layers, table, x, y = mlp_setup
+        path = str(tmp_path / "sweep.ckpt")
+        engine = SensitivityEngine(model, table, strategy="segmented")
+
+        class _Abort(Exception):
+            pass
+
+        ticks = 0
+
+        def aborting(done, total):
+            nonlocal ticks
+            ticks = done
+            if done >= total // 2:
+                raise _Abort
+
+        with pytest.raises(_Abort):
+            engine.measure(
+                x, y, batch_size=8, checkpoint_path=path,
+                checkpoint_every=4, progress=aborting,
+            )
+        table.restore_all()
+
+        resumed = engine.measure(x, y, batch_size=8, checkpoint_path=path)
+        assert resumed.extras["resumed_evals"] > 0
+        assert (
+            resumed.extras["resumed_evals"] + resumed.extras["executed_evals"]
+            == resumed.extras["plan_evals"]
+        )
+        naive = SensitivityEngine(model, table, strategy="naive").measure(
+            x, y, batch_size=8
+        )
+        np.testing.assert_allclose(resumed.matrix, naive.matrix, atol=1e-6)
+
+    def test_checkpoint_ignored_when_plan_changes(self, mlp_setup, tmp_path):
+        model, layers, table, x, y = mlp_setup
+        path = str(tmp_path / "sweep.ckpt")
+        engine = SensitivityEngine(model, table, strategy="segmented")
+        engine.measure(
+            x, y, mode="diagonal", batch_size=8,
+            checkpoint_path=path, checkpoint_every=1,
+        )
+        # Different mode -> different fingerprint -> nothing resumed.
+        again = engine.measure(
+            x, y, mode="full", batch_size=8, checkpoint_path=path
+        )
+        assert again.extras["resumed_evals"] == 0
+
+    def test_corrupt_checkpoint_restarts_cleanly(self, mlp_setup, tmp_path):
+        model, layers, table, x, y = mlp_setup
+        path = tmp_path / "sweep.ckpt"
+        path.write_bytes(b"not an npz file")
+        result = SensitivityEngine(model, table, strategy="segmented").measure(
+            x, y, mode="diagonal", batch_size=8, checkpoint_path=str(path)
+        )
+        assert result.extras["resumed_evals"] == 0
+
+
+class TestEvalPlan:
+    def test_plan_counts_and_order(self):
+        pair_list = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        plan = build_eval_plan(
+            num_layers=4, bits=(4, 8), pair_list=pair_list,
+            layer_segments=(0, 1, 1, 2), num_segments=3,
+            symmetric_diag=False, mode="full",
+        )
+        assert isinstance(plan, EvalPlan)
+        assert plan.num_evals == 4 * 2 + len(pair_list) * 4
+        # Indices are the contiguous plan order.
+        assert [s.index for s in plan.specs()] == list(range(plan.num_evals))
+        # Groups drain from the latest segment backwards.
+        segs = [g.segment for g in plan.groups]
+        assert segs == sorted(segs, reverse=True)
+        assert plan.planned_segment_cost < plan.naive_segment_cost
+
+    def test_fingerprint_sensitive_to_structure(self):
+        kwargs = dict(
+            num_layers=2, bits=(4, 8), pair_list=[(0, 1)],
+            layer_segments=(0, 1), num_segments=2, mode="full",
+        )
+        a = build_eval_plan(symmetric_diag=False, **kwargs)
+        b = build_eval_plan(symmetric_diag=True, **kwargs)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.fingerprint() == build_eval_plan(
+            symmetric_diag=False, **kwargs
+        ).fingerprint()
+        assert a.fingerprint("data1") != a.fingerprint("data2")
+
+
+class TestPrefixCache:
+    def test_recomputes_past_evicted_cuts(self):
+        segs = [Linear(3, 3, rng=np.random.default_rng(k)) for k in range(4)]
+        for s in segs:
+            s.eval()
+        cache = PrefixCache(segs, kept_cuts={0, 2})
+        x = np.ones((2, 3), dtype=np.float32)
+        a = x
+        for k, s in enumerate(segs):
+            cache.put(0, k, a)  # cuts 1 and 3 are dropped
+            a = s.forward(a)
+        direct = segs[2].forward(cache.activation(0, 2))
+        np.testing.assert_allclose(cache.activation(0, 3), direct)
+        assert cache.recomputed_segments == 1
+        with pytest.raises(KeyError):
+            cache.activation(1, 2)  # unknown batch
+
+    def test_select_cuts_prefers_hot_deep_cuts(self):
+        freq = {0: 100, 1: 1, 2: 10, 3: 4}
+        # scores: cut1=1, cut2=20, cut3=12; cut 0 always free.
+        assert select_cuts(freq, budget=2) == {2, 3}
+        assert select_cuts(freq, budget=None) == {1, 2, 3}
+
+
+class TestSweepCheckpoint:
+    def test_roundtrip_and_fingerprint_guard(self, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        ck = SweepCheckpoint(path, "fp-a", every=2)
+        ck.record(3, 1.5)
+        ck.record(0, 0.25)  # second record triggers auto-flush
+        loaded = SweepCheckpoint(path, "fp-a").load()
+        assert loaded == {3: 1.5, 0: 0.25}
+        assert SweepCheckpoint(path, "fp-b").load() == {}
+
+
+class TestSegmentedForward:
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_segments_compose_to_full_forward(self, name):
+        model = build_model(name, num_classes=4)
+        model.eval()
+        segments = model.segments()
+        assert segments, f"{name} should expose forward segments"
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        full = model.forward(x)
+        a = x
+        for seg in segments:
+            a = seg.forward(a)
+        np.testing.assert_allclose(a, full, atol=1e-6)
+        np.testing.assert_allclose(model.forward_from(0, x), full, atol=1e-6)
+
+    def test_checkpoint_activations_match_manual_replay(self):
+        model = build_model("resnet_s20", num_classes=4)
+        model.eval()
+        segments = model.segments()
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        cuts = [1, len(segments) - 1, len(segments)]
+        acts, out = model.checkpoint_activations(x, cuts)
+        np.testing.assert_allclose(out, model.forward(x), atol=1e-6)
+        for cut in cuts[:-1]:
+            np.testing.assert_allclose(
+                model.forward_from(cut, acts[cut]), out, atol=1e-6
+            )
+        np.testing.assert_allclose(acts[len(segments)], out)
+
+    def test_segments_cover_all_searched_layers(self):
+        for name in sorted(MODEL_REGISTRY):
+            model = build_model(name, num_classes=4)
+            segments = model.segments()
+            owned = set()
+            for seg in segments:
+                for _, mod in seg.named_modules():
+                    owned.add(id(mod))
+            for layer in quantizable_layers(model, name):
+                assert id(layer.module) in owned, (name, layer.name)
+
+
+class TestMirroredTable:
+    def test_mirrored_swaps_and_restores(self, mlp_setup):
+        _, layers, table, _, _ = mlp_setup
+        original = table.original[0].copy()
+        with table.mirrored(0, 4):
+            np.testing.assert_allclose(
+                layers[0].weight.data, 2.0 * original - table.quantized(0, 4)
+            )
+        np.testing.assert_array_equal(layers[0].weight.data, original)
+
+    def test_mirror_point_is_reflection(self, mlp_setup):
+        _, _, table, _, _ = mlp_setup
+        # w is the midpoint of Q(w) and its mirror: (Q + mirror)/2 == w.
+        midpoint = 0.5 * (table.mirror(1, 8) + table.quantized(1, 8))
+        np.testing.assert_allclose(midpoint, table.original[1], atol=1e-6)
