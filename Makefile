@@ -1,24 +1,33 @@
 # Convenience targets for the CLADO reproduction.
 
-.PHONY: install test bench bench-smoke pretrain smoke reports clean-cache
+.PHONY: verify install lint test bench bench-smoke pretrain smoke reports clean-cache
+
+# Default: lint conventions, then the tier-1 suite.
+.DEFAULT_GOAL := verify
+verify: lint test
 
 install:
 	pip install -e . || python setup.py develop
 
+# AST check: no time.time() / bare print() inside src/repro
+# (telemetry.monotonic / telemetry.emit are the sanctioned equivalents).
+lint:
+	python scripts/check_telemetry_lint.py
+
 test:
-	pytest tests/
+	PYTHONPATH=src pytest tests/
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 # Fast end-to-end pass (small sensitivity sets, few replicates).
 smoke:
-	REPRO_SCALE=smoke pytest benchmarks/ --benchmark-only
+	REPRO_SCALE=smoke PYTHONPATH=src pytest benchmarks/ --benchmark-only
 
 # Tiny perf gate: runtime profile + segmented-sweep speedup, appending a
 # JSON row to reports/BENCH_sensitivity_cache.json per run.
 bench-smoke:
-	REPRO_SCALE=smoke pytest benchmarks/bench_runtime.py \
+	REPRO_SCALE=smoke PYTHONPATH=src pytest benchmarks/bench_runtime.py \
 		benchmarks/bench_sensitivity_cache.py --benchmark-only -q
 
 pretrain:

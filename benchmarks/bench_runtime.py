@@ -5,11 +5,31 @@ HAWQ roughly the same, MPQCO 5-10 minutes.  Absolute numbers differ on the
 CPU substrate; the reproduced claim is the *ordering and the measurement
 counts*: CLADO needs O((|B|I)^2) forward evals, HAWQ needs a handful of
 backward (HvP) passes over the same set, MPQCO a single gradient pass.
+
+Every preparation runs inside a telemetry run; each row's counts come
+straight out of its manifest (``row.manifest``/``row.counters``), and the
+benchmark reports the CLADO/HAWQ/MPQCO cost ratios computed from those
+manifests rather than from hand-maintained formulas.
 """
 
 import pytest
 
 from repro.experiments import format_runtime, run_runtime
+
+
+def _cost_ratios(by_name):
+    """Pairwise preparation-cost ratios derived from the run manifests."""
+    eps = 1e-9
+    return {
+        "clado_vs_hawq_wall": by_name["CLADO"].wall_seconds
+        / max(by_name["HAWQ"].wall_seconds, eps),
+        "clado_vs_mpqco_wall": by_name["CLADO"].wall_seconds
+        / max(by_name["MPQCO"].wall_seconds, eps),
+        "clado_vs_star_forwards": by_name["CLADO"].forward_evals
+        / max(by_name["CLADO*"].forward_evals, 1),
+        "hawq_vs_mpqco_backwards": by_name["HAWQ"].backward_passes
+        / max(by_name["MPQCO"].backward_passes, 1),
+    }
 
 
 @pytest.mark.benchmark(group="runtime")
@@ -19,12 +39,29 @@ def test_runtime_profile(benchmark, ctx, report):
         rounds=1,
         iterations=1,
     )
-    report("runtime_profile", format_runtime("resnet_s34", rows))
     by_name = {row.algorithm: row for row in rows}
+    ratios = _cost_ratios(by_name)
+    ratio_lines = "\n".join(
+        f"  {name:<28}{value:>10.2f}x" for name, value in sorted(ratios.items())
+    )
+    report(
+        "runtime_profile",
+        format_runtime("resnet_s34", rows)
+        + "\n\ncost ratios (from manifests)\n"
+        + ratio_lines,
+    )
+    # Every row must trace back to a written manifest with real counters.
+    for row in rows:
+        assert row.manifest, f"{row.algorithm} row lost its manifest link"
+        assert row.counters, f"{row.algorithm} manifest recorded no counters"
+    # Sweep-based rows must match the paper's closed-form eval counts.
+    for name in ("CLADO", "CLADO*"):
+        assert by_name[name].forward_evals == by_name[name].expected_forward_evals
     # Measurement-count ordering (exact, machine-independent).
     assert by_name["CLADO"].forward_evals > by_name["CLADO*"].forward_evals
     assert by_name["CLADO*"].forward_evals > 0
     assert by_name["MPQCO"].backward_passes <= by_name["HAWQ"].backward_passes
+    assert ratios["clado_vs_star_forwards"] > 1.0
     # Wall-time ordering: CLADO is the most expensive, MPQCO among cheapest.
     assert by_name["CLADO"].wall_seconds >= by_name["MPQCO"].wall_seconds
     assert by_name["CLADO"].wall_seconds >= by_name["CLADO*"].wall_seconds

@@ -13,7 +13,14 @@ Run:  python examples/mpq_pipeline.py [model_name]
 
 import sys
 
-from repro.core import CLADO, HAWQ, MPQCO, evaluate_assignment, setup_activation_quant
+from repro.core import (
+    CLADO,
+    HAWQ,
+    MPQCO,
+    SensitivityConfig,
+    evaluate_assignment,
+    setup_activation_quant,
+)
 from repro.data import make_dataset, sensitivity_set
 from repro.experiments import model_quant_config
 from repro.models import get_pretrained, evaluate_model
@@ -31,7 +38,8 @@ def main(model_name: str = "resnet_s50") -> None:
           f"(bits candidates {config.bits}, scheme {config.scheme})")
 
     algorithms = {
-        "HAWQ": HAWQ(model, model_name, config, probes=6),
+        "HAWQ": HAWQ(model, model_name, config,
+                     sensitivity=SensitivityConfig(probes=6)),
         "MPQCO": MPQCO(model, model_name, config),
         "CLADO*": CLADO(model, model_name, config, mode="diagonal"),
         "CLADO": CLADO(model, model_name, config, mode="full"),

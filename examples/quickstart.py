@@ -12,7 +12,13 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import CLADO, evaluate_assignment, upq_assignment
+from repro.core import (
+    CLADO,
+    SensitivityConfig,
+    SolverConfig,
+    evaluate_assignment,
+    upq_assignment,
+)
 from repro.data import make_dataset, sensitivity_set
 from repro.models import get_pretrained
 from repro.quant import QuantConfig, bytes_to_mb
@@ -29,8 +35,10 @@ def main() -> None:
     _, (x_val, y_val) = dataset.splits(1, 512)
 
     # 2. Measure sensitivities: |B|*I single-layer evals + pairwise evals.
+    #    SensitivityConfig controls how the sweep runs (strategy, workers,
+    #    checkpointing); the defaults use the prefix-cached segmented sweep.
     config = QuantConfig(bits=(2, 4, 8))
-    clado = CLADO(model, "resnet_s20", config)
+    clado = CLADO(model, "resnet_s20", config, sensitivity=SensitivityConfig())
     print("measuring sensitivities (forward evaluations only)...")
     clado.prepare(x_sens, y_sens)
     print(
@@ -41,12 +49,15 @@ def main() -> None:
     # 3. Allocate bit-widths for a budget equal to 4-bit uniform precision.
     sizes = clado.layer_sizes()
     budget_bits = int(sizes.sum()) * 4
-    assignment = clado.allocate(budget_bits)
+    #    allocate() returns an AllocationResult: the assignment plus solver
+    #    status, achieved size, and (under --trace runs) a manifest link.
+    result = clado.allocate(budget_bits, solver=SolverConfig(time_limit=20.0))
     print(f"\nbudget: {bytes_to_mb(budget_bits / 8):.4f} MB (= 4-bit UPQ)")
-    print(f"CLADO bits per layer: {list(map(int, assignment.bits))}")
-    print(f"solver: {assignment.solver.method}, "
-          f"certified optimal: {assignment.solver.optimal}, "
-          f"{assignment.solver.wall_time:.2f}s")
+    print(f"CLADO bits per layer: {list(map(int, result.bits))}")
+    print(f"solver: {result.solver_method} ({result.solver_status}), "
+          f"{result.solve_seconds:.2f}s, "
+          f"budget utilization {result.utilization:.1%}")
+    assignment = result
 
     # 4. Evaluate against uniform 4-bit quantization at the same size.
     _, acc_clado = evaluate_assignment(

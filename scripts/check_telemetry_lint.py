@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""AST lint: enforce the telemetry conventions inside ``src/repro/``.
+
+Two rules (see docs/observability.md):
+
+1. No ``time.time()`` — wall-clock arithmetic must use
+   ``telemetry.monotonic()`` (an alias of ``time.perf_counter``) so spans
+   and durations survive clock adjustments.  ``perf_counter`` itself is
+   fine.
+2. No bare ``print(...)`` — console output goes through
+   ``telemetry.emit()``, the single sanctioned stdout sink, so library
+   code stays silent by default and the CLI remains the only chatty
+   layer.
+
+Exit status 0 when clean, 1 with a ``path:line: message`` listing per
+violation.  Run via ``make lint`` (part of the default ``make`` target).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TARGET = ROOT / "src" / "repro"
+
+# telemetry/__init__.py defines emit() itself and may touch stdout.
+ALLOWED_STDOUT = {TARGET / "telemetry" / "__init__.py"}
+
+
+def _violations(path: Path, tree: ast.AST):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "time"
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "time"
+        ):
+            yield node.lineno, "time.time() is forbidden; use telemetry.monotonic()"
+        if isinstance(fn, ast.Name) and fn.id == "time":
+            yield node.lineno, "bare time() call; use telemetry.monotonic()"
+        if (
+            isinstance(fn, ast.Name)
+            and fn.id == "print"
+            and path not in ALLOWED_STDOUT
+        ):
+            yield node.lineno, "bare print() is forbidden; use telemetry.emit()"
+
+
+def main() -> int:
+    failures = []
+    for path in sorted(TARGET.rglob("*.py")):
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as exc:
+            failures.append(f"{path}:{exc.lineno}: syntax error: {exc.msg}")
+            continue
+        for lineno, message in _violations(path, tree):
+            failures.append(f"{path.relative_to(ROOT)}:{lineno}: {message}")
+    if failures:
+        sys.stderr.write("\n".join(failures) + "\n")
+        sys.stderr.write(f"{len(failures)} telemetry lint violation(s)\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

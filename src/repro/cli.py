@@ -6,6 +6,11 @@ Commands
 - ``models``              list registered models with layer-index maps
 - ``allocate``            run an MPQ algorithm on one model and budget
 - ``experiment <name>``   regenerate one paper table/figure
+- ``report <manifest>``   pretty-print a telemetry run manifest
+
+``--trace`` (on ``allocate``/``experiment``) records the run into a JSON
+manifest under ``reports/runs/`` (override with ``--manifest-dir`` or
+``REPRO_MANIFEST_DIR``); ``report`` renders one.
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ import argparse
 import sys
 
 import numpy as np
+
+from . import telemetry
+from .telemetry import emit
 
 
 def _cmd_pretrain(args) -> int:
@@ -24,7 +32,7 @@ def _cmd_pretrain(args) -> int:
     names = args.models or sorted(MODEL_REGISTRY)
     for name in names:
         _, metrics = get_pretrained(name, dataset, retrain=args.retrain, verbose=True)
-        print(f"{name}: val top-1 {100 * metrics['val_acc']:.2f}%")
+        emit(f"{name}: val top-1 {100 * metrics['val_acc']:.2f}%")
     return 0
 
 
@@ -35,18 +43,24 @@ def _cmd_models(args) -> int:
         model = build_model(name)
         mapping = layer_index_map(model, name)
         params = sum(p.size for p in model.parameters())
-        print(f"{name}  (paper analogue: {entry.paper_model})  "
-              f"{params} params, {len(mapping)} quantizable layers")
+        emit(f"{name}  (paper analogue: {entry.paper_model})  "
+             f"{params} params, {len(mapping)} quantizable layers")
         if args.verbose:
             for idx in sorted(mapping):
-                print(f"  {idx:>3}  {mapping[idx]}")
+                emit(f"  {idx:>3}  {mapping[idx]}")
     return 0
 
 
-def _cmd_allocate(args) -> int:
-    from .core import evaluate_assignment, setup_activation_quant
+def _allocate_body(args, run) -> int:
+    from .core import (
+        SensitivityConfig,
+        SolverConfig,
+        evaluate_assignment,
+        setup_activation_quant,
+    )
     from .data import make_dataset, sensitivity_set
     from .experiments import model_quant_config
+    from .experiments.runner import ExperimentContext
     from .models import get_pretrained
     from .quant import bops_table, bytes_to_mb, measure_macs
 
@@ -55,24 +69,24 @@ def _cmd_allocate(args) -> int:
     config = model_quant_config(args.model)
     x_sens, y_sens = sensitivity_set(dataset, size=args.set_size)
 
-    from .experiments.runner import ExperimentContext
-
+    sens_config = SensitivityConfig(
+        strategy="naive" if args.naive_sweep else "auto",
+        num_workers=args.workers,
+        checkpoint_path=args.sweep_checkpoint,
+    )
     ctx = ExperimentContext()
-    algo = ctx.make_algorithm(args.algorithm, args.model, model=model, config=config)
+    algo = ctx.make_algorithm(
+        args.algorithm, args.model, model=model, config=config,
+        sensitivity=sens_config,
+    )
     setup_activation_quant(model, algo.layers, x_sens, bits=config.act_bits)
-    print(f"preparing {algo.name} sensitivities on {args.set_size} samples...")
-    prepare_kwargs = {}
-    if args.algorithm.startswith("clado"):
-        prepare_kwargs["strategy"] = "naive" if args.naive_sweep else "auto"
-        prepare_kwargs["num_workers"] = args.workers
-        if args.sweep_checkpoint:
-            prepare_kwargs["checkpoint_path"] = args.sweep_checkpoint
-    algo.prepare(x_sens, y_sens, **prepare_kwargs)
-    print(f"  done in {algo.prepare_time:.1f}s")
+    emit(f"preparing {algo.name} sensitivities on {args.set_size} samples...")
+    algo.prepare(x_sens, y_sens)
+    emit(f"  done in {algo.prepare_time:.1f}s")
     raw = getattr(algo, "raw", None)
     if raw is not None and raw.extras.get("strategy") == "segmented":
         e = raw.extras
-        print(
+        emit(
             f"  segmented sweep: {e['workers']} worker(s), "
             f"{e['num_segments']} segments, "
             f"{e['resumed_evals']}/{e['plan_evals']} evals resumed, "
@@ -81,13 +95,12 @@ def _cmd_allocate(args) -> int:
 
     sizes = algo.layer_sizes()
     budget = int(sizes.sum() * args.avg_bits)
-    kwargs = {}
     if args.bops_ratio is not None:
         macs = measure_macs(model, algo.layers)
         coeffs = bops_table(macs, config.bits, act_bits=config.act_bits)
         lo, hi = coeffs[:, 0].sum(), coeffs[:, -1].sum()
         bound = lo + args.bops_ratio * (hi - lo)
-        print(f"BOPs budget: {bound:.3e} ({args.bops_ratio:.0%} of range)")
+        emit(f"BOPs budget: {bound:.3e} ({args.bops_ratio:.0%} of range)")
         from .solvers import MPQProblem, solve_branch_and_bound
 
         problem = MPQProblem(
@@ -101,17 +114,24 @@ def _cmd_allocate(args) -> int:
         result = solve_branch_and_bound(problem, time_limit=args.time_limit)
         bits = problem.choice_bits(result.choice)
     else:
-        assignment = algo.allocate(budget)
-        bits = assignment.bits
+        result = algo.allocate(
+            budget, solver=SolverConfig(time_limit=args.time_limit)
+        )
+        bits = result.bits
+        emit(f"solver: {result.solver_method} ({result.solver_status}), "
+             f"{result.solve_seconds:.2f}s, "
+             f"budget utilization {result.utilization:.1%}")
 
-    print(f"\nbudget {bytes_to_mb(budget / 8):.4f} MB "
-          f"({args.avg_bits}-bit average)")
+    emit(f"\nbudget {bytes_to_mb(budget / 8):.4f} MB "
+         f"({args.avg_bits}-bit average)")
     for layer, b in zip(algo.layers, bits):
-        print(f"  {layer.name:<40} {int(b)} bits")
+        emit(f"  {layer.name:<40} {int(b)} bits")
 
     _, (x_val, y_val) = dataset.splits(1, 512)
     loss, acc = evaluate_assignment(model, algo.table, bits, x_val, y_val)
-    print(f"\nvalidation top-1: {100 * acc:.2f}%  (loss {loss:.4f})")
+    emit(f"\nvalidation top-1: {100 * acc:.2f}%  (loss {loss:.4f})")
+    if run is not None:
+        run.add_result(val_acc=float(acc), val_loss=float(loss))
 
     if args.export:
         from .quant import export_assignment, save_packed
@@ -119,8 +139,47 @@ def _cmd_allocate(args) -> int:
         packed = export_assignment(algo.layers, bits, scheme=config.scheme)
         save_packed(args.export, packed)
         total = sum(t.payload_bytes for t in packed.values())
-        print(f"packed weights written to {args.export} ({total} bytes payload)")
+        emit(f"packed weights written to {args.export} ({total} bytes payload)")
     return 0
+
+
+def _cmd_allocate(args) -> int:
+    from .core import InfeasibleBudgetError
+
+    run = None
+    if args.trace:
+        run = telemetry.start_run(
+            f"allocate.{args.algorithm}",
+            config={
+                "model": args.model,
+                "algorithm": args.algorithm,
+                "avg_bits": args.avg_bits,
+                "set_size": args.set_size,
+                "workers": args.workers,
+                "naive_sweep": bool(args.naive_sweep),
+            },
+            manifest_dir=args.manifest_dir,
+        )
+    try:
+        with run if run is not None else _null_context():
+            code = _allocate_body(args, run)
+    except InfeasibleBudgetError as exc:
+        emit(f"error: infeasible budget — {exc}")
+        if exc.min_size_bits is not None:
+            emit(f"  smallest representable model: {exc.min_size_bits} bits; "
+                 "raise --avg-bits")
+        return 2
+    if run is not None and run.path is not None:
+        emit(f"run manifest: {run.path}")
+    return code
+
+
+class _null_context:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
 
 
 _EXPERIMENTS = {
@@ -202,7 +261,22 @@ def _cmd_experiment(args) -> int:
     from .experiments import ExperimentContext, get_scale
 
     ctx = ExperimentContext(get_scale(args.scale))
-    print(_EXPERIMENTS[args.name](ctx))
+    if args.trace:
+        with telemetry.start_run(
+            f"experiment.{args.name}",
+            config={"experiment": args.name, "scale": ctx.scale.name},
+            manifest_dir=args.manifest_dir,
+        ) as run:
+            emit(_EXPERIMENTS[args.name](ctx))
+        emit(f"run manifest: {run.path}")
+    else:
+        emit(_EXPERIMENTS[args.name](ctx))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    doc = telemetry.load_manifest(args.manifest)
+    emit(telemetry.format_manifest(doc))
     return 0
 
 
@@ -224,11 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("allocate", help="run MPQ on one model")
     p.add_argument("--model", default="resnet_s34")
-    p.add_argument(
-        "--algorithm",
-        default="clado",
-        choices=["clado", "clado_star", "clado_block", "hawq", "mpqco"],
-    )
+    from .core.api import ALGORITHM_KINDS
+
+    p.add_argument("--algorithm", default="clado", choices=list(ALGORITHM_KINDS))
     p.add_argument("--avg-bits", type=float, default=4.0)
     p.add_argument("--set-size", type=int, default=64)
     p.add_argument("--time-limit", type=float, default=20.0)
@@ -255,12 +327,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable prefix-cached segmented replay (full forward per eval)",
     )
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record counters/spans and write a run manifest",
+    )
+    p.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="manifest output directory (default reports/runs/)",
+    )
     p.set_defaults(func=_cmd_allocate)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(_EXPERIMENTS))
     p.add_argument("--scale", default="", help="smoke | default | paper")
+    p.add_argument(
+        "--trace",
+        action="store_true",
+        help="record counters/spans and write a run manifest",
+    )
+    p.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="manifest output directory (default reports/runs/)",
+    )
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("report", help="pretty-print a telemetry run manifest")
+    p.add_argument("manifest", help="path to a reports/runs/*.json manifest")
+    p.set_defaults(func=_cmd_report)
     return parser
 
 

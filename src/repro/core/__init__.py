@@ -1,5 +1,14 @@
 """The CLADO algorithm, its baselines, and evaluation/QAT utilities."""
 
+from .api import (
+    ALGORITHM_KINDS,
+    AllocationResult,
+    InfeasibleBudgetError,
+    SensitivityConfig,
+    SolverConfig,
+    algorithm_specs,
+    build_algorithm,
+)
 from .baselines import HAWQ, MPQCO, upq_assignment
 from .clado import CLADO, MPQAlgorithm, MPQAssignment
 from .evaluate import (
@@ -21,6 +30,13 @@ from .sweep import (
 )
 
 __all__ = [
+    "ALGORITHM_KINDS",
+    "AllocationResult",
+    "InfeasibleBudgetError",
+    "SensitivityConfig",
+    "SolverConfig",
+    "algorithm_specs",
+    "build_algorithm",
     "CLADO",
     "MPQAlgorithm",
     "MPQAssignment",

@@ -17,12 +17,15 @@ CLADO with reduced measurement modes).
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..hessian import hutchinson_layer_traces, loss_and_grads
-from ..solvers import MPQProblem, solve_dp
+from ..solvers import InfeasibleBudgetError, MPQProblem, solve_dp
+from .api import SensitivityConfig, SolverConfig
 from .clado import MPQAlgorithm, MPQAssignment
 
 __all__ = ["HAWQ", "MPQCO", "upq_assignment"]
@@ -35,7 +38,7 @@ class _SeparableBaseline(MPQAlgorithm):
         super().__init__(*args, **kwargs)
         self.costs: Optional[np.ndarray] = None  # (I, |B|)
 
-    def _allocate(self, budget_bits: int, **kwargs) -> MPQAssignment:
+    def _allocate(self, budget_bits: int, solver: SolverConfig) -> MPQAssignment:
         nb = self.config.num_choices
         num_layers = len(self.layers)
         diag = np.zeros(num_layers * nb)
@@ -47,7 +50,7 @@ class _SeparableBaseline(MPQAlgorithm):
             bits=self.config.bits,
             budget_bits=budget_bits,
         )
-        result = solve_dp(problem, costs=self.costs, **kwargs)
+        result = solve_dp(problem, costs=self.costs, **dict(solver.options))
         return MPQAssignment(
             algorithm=self.name,
             bits=problem.choice_bits(result.choice),
@@ -66,22 +69,54 @@ class HAWQ(_SeparableBaseline):
 
     name = "HAWQ"
 
-    def __init__(self, *args, probes: int = 8, seed: int = 0, **kwargs) -> None:
+    def __init__(
+        self,
+        *args,
+        probes: Optional[int] = None,
+        seed: Optional[int] = None,
+        **kwargs,
+    ) -> None:
         super().__init__(*args, **kwargs)
-        self.probes = probes
-        self.seed = seed
+        # Constructor-level probes=/seed= predate SensitivityConfig; fold
+        # them into the algorithm's default config so both paths agree.
+        if probes is not None or seed is not None:
+            warnings.warn(
+                "HAWQ(probes=, seed=) is deprecated; pass "
+                "SensitivityConfig(probes=, seed=) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides = {}
+            if probes is not None:
+                overrides["probes"] = probes
+            if seed is not None:
+                overrides["seed"] = seed
+            self.sensitivity_config = self.sensitivity_config.with_overrides(
+                **overrides
+            )
         self.traces: Optional[np.ndarray] = None
 
-    def _prepare(self, x: np.ndarray, y: np.ndarray, **kwargs) -> None:
-        self.traces = hutchinson_layer_traces(
-            self.model,
-            self.criterion,
-            self.layers,
-            x,
-            y,
-            probes=self.probes,
-            seed=self.seed,
-        )
+    @property
+    def probes(self) -> int:
+        return self.sensitivity_config.probes
+
+    @property
+    def seed(self) -> int:
+        return self.sensitivity_config.seed
+
+    def _prepare(
+        self, x: np.ndarray, y: np.ndarray, config: SensitivityConfig
+    ) -> None:
+        with telemetry.span("prepare.hutchinson", probes=config.probes):
+            self.traces = hutchinson_layer_traces(
+                self.model,
+                self.criterion,
+                self.layers,
+                x,
+                y,
+                probes=config.probes,
+                seed=config.seed,
+            )
         # Negative trace estimates (possible at finite samples) would make
         # the knapsack prefer *lower* precision for free.  Clip at a small
         # positive floor rather than zero: a zero cost row would make every
@@ -92,11 +127,12 @@ class HAWQ(_SeparableBaseline):
         mean_traces = np.maximum(positive, floor) / np.asarray(
             [layer.num_params for layer in self.layers], dtype=np.float64
         )
-        costs = np.zeros((len(self.layers), self.config.num_choices))
-        for i in range(len(self.layers)):
-            for m, b in enumerate(self.config.bits):
-                delta = self.table.delta(i, b).astype(np.float64).ravel()
-                costs[i, m] = mean_traces[i] * float(delta @ delta)
+        with telemetry.span("prepare.costs"):
+            costs = np.zeros((len(self.layers), self.config.num_choices))
+            for i in range(len(self.layers)):
+                for m, b in enumerate(self.config.bits):
+                    delta = self.table.delta(i, b).astype(np.float64).ravel()
+                    costs[i, m] = mean_traces[i] * float(delta @ delta)
         self.costs = costs
 
 
@@ -109,32 +145,42 @@ class MPQCO(_SeparableBaseline):
 
     name = "MPQCO"
 
-    def _prepare(self, x: np.ndarray, y: np.ndarray, batch_size: int = 256, **kwargs) -> None:
+    def _prepare(
+        self, x: np.ndarray, y: np.ndarray, config: SensitivityConfig
+    ) -> None:
+        batch_size = config.batch_size
         fisher = [np.zeros(layer.weight.size) for layer in self.layers]
         n = len(x)
-        for start in range(0, n, batch_size):
-            xb = x[start : start + batch_size]
-            yb = y[start : start + batch_size]
-            _, grads = loss_and_grads(self.model, self.criterion, self.layers, xb, yb)
-            weight = len(xb) / n
-            for i, g in enumerate(grads):
-                fisher[i] += weight * g**2
-        costs = np.zeros((len(self.layers), self.config.num_choices))
-        for i in range(len(self.layers)):
-            for m, b in enumerate(self.config.bits):
-                delta = self.table.delta(i, b).astype(np.float64).ravel()
-                costs[i, m] = float(fisher[i] @ delta**2)
+        with telemetry.span("prepare.fisher"):
+            for start in range(0, n, batch_size):
+                xb = x[start : start + batch_size]
+                yb = y[start : start + batch_size]
+                _, grads = loss_and_grads(
+                    self.model, self.criterion, self.layers, xb, yb
+                )
+                weight = len(xb) / n
+                for i, g in enumerate(grads):
+                    fisher[i] += weight * g**2
+        with telemetry.span("prepare.costs"):
+            costs = np.zeros((len(self.layers), self.config.num_choices))
+            for i in range(len(self.layers)):
+                for m, b in enumerate(self.config.bits):
+                    delta = self.table.delta(i, b).astype(np.float64).ravel()
+                    costs[i, m] = float(fisher[i] @ delta**2)
         self.costs = costs
 
 
 def upq_assignment(layer_sizes, bits_candidates, budget_bits: int) -> np.ndarray:
     """Uniform-precision bits: the largest candidate that fits the budget."""
     total = int(np.sum(np.asarray(layer_sizes, dtype=np.int64)))
+    min_size = total * min(bits_candidates)
     feasible = [b for b in bits_candidates if total * b <= budget_bits]
     if not feasible:
-        raise ValueError(
+        raise InfeasibleBudgetError(
             f"no uniform precision fits budget {budget_bits} bits "
-            f"(min candidate needs {total * min(bits_candidates)})"
+            f"(min candidate needs {min_size})",
+            budget_bits=int(budget_bits),
+            min_size_bits=min_size,
         )
     b = max(feasible)
     return np.full(len(layer_sizes), b, dtype=np.int64)

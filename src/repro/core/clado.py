@@ -5,20 +5,35 @@ the forward-only sensitivity engine (Algorithm 1), the PSD projection, and
 the IQP solver; its ablation variants (``mode="diagonal"`` = CLADO*,
 ``mode="block"`` = BRECQ-style intra-block interactions) reuse the same
 machinery with reduced measurement sets.
+
+The allocator API (see :mod:`repro.core.api`): ``prepare(x, y, config)``
+takes a typed :class:`SensitivityConfig`, ``allocate(budget_bits, solver)``
+takes a typed :class:`SolverConfig` and returns an
+:class:`AllocationResult` wrapping the concrete :class:`MPQAssignment`.
+Pre-redesign keyword arguments (``strategy=``, ``solver_method=``,
+``time_limit=``...) still work through deprecation shims that fold them
+into the typed configs.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..models import QuantizableLayer, quantizable_layers
 from ..nn import CrossEntropyLoss, Module
 from ..quant import QuantConfig, QuantizedWeightTable, bytes_to_mb
 from ..solvers import MPQProblem, SolveResult, solve
+from .api import (
+    AllocationResult,
+    InfeasibleBudgetError,
+    SensitivityConfig,
+    SolverConfig,
+)
 from .psd import min_eigenvalue, psd_project
 from .sensitivity import SensitivityEngine, SensitivityResult
 
@@ -48,6 +63,17 @@ class MPQAssignment:
         )
 
 
+def _deprecated_kwargs(method: str, names) -> None:
+    warnings.warn(
+        f"passing untyped keyword arguments ({', '.join(sorted(names))}) to "
+        f"{method} is deprecated; use the typed "
+        f"{'SolverConfig' if method == 'allocate' else 'SensitivityConfig'} "
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class MPQAlgorithm:
     """Shared skeleton for sensitivity-based MPQ algorithms.
 
@@ -55,6 +81,9 @@ class MPQAlgorithm:
     ``_allocate`` (solve for one budget); budgets can then be swept cheaply
     against the cached sensitivities — the key workflow advantage of
     sensitivity-based methods the paper emphasizes (§2).
+
+    ``sensitivity`` seeds the default measurement config; a config passed
+    to ``prepare`` overrides it per call.
     """
 
     name = "base"
@@ -66,6 +95,7 @@ class MPQAlgorithm:
         config: QuantConfig,
         layers: Optional[Sequence[QuantizableLayer]] = None,
         criterion: Optional[CrossEntropyLoss] = None,
+        sensitivity: Optional[SensitivityConfig] = None,
     ) -> None:
         self.model = model
         self.model_name = model_name
@@ -75,39 +105,111 @@ class MPQAlgorithm:
         )
         self.criterion = criterion or CrossEntropyLoss()
         self.table = QuantizedWeightTable(self.layers, config)
+        self.sensitivity_config = sensitivity or SensitivityConfig()
         self.prepared = False
         self.prepare_time = 0.0
 
     # -- API -------------------------------------------------------------------
-    def prepare(self, x: np.ndarray, y: np.ndarray, **kwargs) -> None:
+    def _effective_sensitivity_config(
+        self, config: Optional[SensitivityConfig], legacy: dict
+    ) -> SensitivityConfig:
+        effective = config or self.sensitivity_config
+        if legacy:
+            known = set(SensitivityConfig.field_names())
+            unknown = set(legacy) - known
+            if unknown:
+                raise TypeError(
+                    f"unknown prepare() arguments: {sorted(unknown)}"
+                )
+            _deprecated_kwargs("prepare", legacy)
+            effective = effective.with_overrides(**legacy)
+        return effective
+
+    def prepare(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        config: Optional[SensitivityConfig] = None,
+        **legacy_kwargs,
+    ) -> None:
         """Measure sensitivities on the sensitivity set ``(x, y)``."""
-        t0 = time.time()
-        self._prepare(x, y, **kwargs)
-        self.prepare_time = time.time() - t0
+        effective = self._effective_sensitivity_config(config, legacy_kwargs)
+        t0 = telemetry.monotonic()
+        with telemetry.span("prepare", algorithm=self.name):
+            self._prepare(x, y, effective)
+        self.prepare_time = telemetry.monotonic() - t0
         self.prepared = True
 
-    def allocate(self, budget_bits: int, **kwargs) -> MPQAssignment:
-        """Pick bit-widths for one size budget (requires ``prepare`` first)."""
+    def allocate(
+        self,
+        budget_bits: int,
+        solver: Optional[SolverConfig] = None,
+        **legacy_kwargs,
+    ) -> AllocationResult:
+        """Pick bit-widths for one size budget (requires ``prepare`` first).
+
+        Returns an :class:`AllocationResult`; its attributes fall through
+        to the wrapped :class:`MPQAssignment` for legacy callers.
+        """
         if not self.prepared:
             raise RuntimeError(f"{self.name}: call prepare() before allocate()")
+        if legacy_kwargs:
+            _deprecated_kwargs("allocate", legacy_kwargs)
+        solver = SolverConfig.from_legacy_kwargs(solver, **legacy_kwargs)
+        budget_bits = int(budget_bits)
         min_bits = sum(layer.num_params for layer in self.layers) * min(
             self.config.bits
         )
         if budget_bits < min_bits:
-            raise ValueError(
+            raise InfeasibleBudgetError(
                 f"budget {budget_bits} bits below the all-min-precision "
-                f"size {min_bits} bits"
+                f"size {min_bits} bits",
+                budget_bits=budget_bits,
+                min_size_bits=min_bits,
             )
-        return self._allocate(int(budget_bits), **kwargs)
+        t0 = telemetry.monotonic()
+        with telemetry.span("allocate", algorithm=self.name):
+            assignment = self._allocate(budget_bits, solver)
+        solve_seconds = telemetry.monotonic() - t0
+        result = AllocationResult(
+            assignment=assignment,
+            budget_bits=budget_bits,
+            achieved_size_bits=int(assignment.size_bits),
+            solver_status=(
+                "optimal"
+                if assignment.solver is not None and assignment.solver.optimal
+                else (assignment.solver.message or "incumbent")
+                if assignment.solver is not None
+                else "heuristic"
+            ),
+            solver_method=(
+                assignment.solver.method if assignment.solver is not None else ""
+            ),
+            solve_seconds=solve_seconds,
+        )
+        run = telemetry.current_run()
+        if run is not None:
+            result.manifest_path = str(run.manifest_dir / f"{run.run_id}.json")
+            run.add_result(
+                algorithm=self.name,
+                budget_bits=budget_bits,
+                achieved_size_bits=result.achieved_size_bits,
+                solver_status=result.solver_status,
+                solver_method=result.solver_method,
+                predicted_loss_increase=assignment.predicted_loss_increase,
+            )
+        return result
 
     def layer_sizes(self) -> np.ndarray:
         return np.asarray([layer.num_params for layer in self.layers], dtype=np.int64)
 
     # -- hooks -------------------------------------------------------------
-    def _prepare(self, x: np.ndarray, y: np.ndarray, **kwargs) -> None:
+    def _prepare(
+        self, x: np.ndarray, y: np.ndarray, config: SensitivityConfig
+    ) -> None:
         raise NotImplementedError
 
-    def _allocate(self, budget_bits: int, **kwargs) -> MPQAssignment:
+    def _allocate(self, budget_bits: int, solver: SolverConfig) -> MPQAssignment:
         raise NotImplementedError
 
 
@@ -148,13 +250,16 @@ class CLADO(MPQAlgorithm):
         self.raw: Optional[SensitivityResult] = None
         self.matrix: Optional[np.ndarray] = None
 
-    def _prepare(self, x: np.ndarray, y: np.ndarray, **kwargs) -> None:
+    def _prepare(
+        self, x: np.ndarray, y: np.ndarray, config: SensitivityConfig
+    ) -> None:
         engine = SensitivityEngine(self.model, self.table, self.criterion)
-        self.raw = engine.measure(x, y, mode=self.mode, **kwargs)
-        if self.use_psd:
-            self.matrix = psd_project(self.raw.matrix)
-        else:
-            self.matrix = 0.5 * (self.raw.matrix + self.raw.matrix.T)
+        self.raw = engine.measure(x, y, mode=self.mode, **config.engine_kwargs())
+        with telemetry.span("prepare.psd_project"):
+            if self.use_psd:
+                self.matrix = psd_project(self.raw.matrix)
+            else:
+                self.matrix = 0.5 * (self.raw.matrix + self.raw.matrix.T)
 
     def set_sensitivity(self, result: SensitivityResult) -> None:
         """Install a precomputed (e.g. cached) sensitivity measurement."""
@@ -165,28 +270,26 @@ class CLADO(MPQAlgorithm):
             self.matrix = 0.5 * (result.matrix + result.matrix.T)
         self.prepared = True
 
-    def _allocate(
-        self,
-        budget_bits: int,
-        solver_method: str = "auto",
-        time_limit: float = 20.0,
-        **kwargs,
-    ) -> MPQAssignment:
+    def _allocate(self, budget_bits: int, solver: SolverConfig) -> MPQAssignment:
         problem = MPQProblem(
             sensitivity=self.matrix,
             layer_sizes=self.layer_sizes(),
             bits=self.config.bits,
             budget_bits=budget_bits,
         )
-        if solver_method == "auto" and self.mode == "diagonal":
-            solver_method = "dp"
-        solver_kwargs = dict(kwargs)
-        if solver_method in ("auto", "bb"):
-            solver_kwargs.setdefault("time_limit", time_limit)
-            solver_kwargs.setdefault("assume_psd", self.use_psd)
+        method = solver.method
+        if method == "auto" and self.mode == "diagonal":
+            method = "dp"
+        solver_kwargs = dict(solver.options)
+        if method in ("auto", "bb"):
+            solver_kwargs.setdefault("time_limit", solver.time_limit)
+            solver_kwargs.setdefault("max_nodes", solver.max_nodes)
+            solver_kwargs.setdefault("gap_tol", solver.gap_tol)
+            solver_kwargs.setdefault(
+                "assume_psd",
+                self.use_psd if solver.assume_psd is None else solver.assume_psd,
+            )
             method = "bb"
-        else:
-            method = solver_method
         result = solve(problem, method=method, **solver_kwargs)
         return MPQAssignment(
             algorithm=self.name,

@@ -14,11 +14,15 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..data import shuffled_epochs
 from ..nn import CrossEntropyLoss, Module, SGD, cosine_lr
 from ..quant import PerChannelAffineQuantizer, UniformSymmetricQuantizer
 
 __all__ = ["QATConfig", "qat_finetune"]
+
+_QAT_STEPS = telemetry.counter("qat.steps")
+_QAT_RECALIBRATIONS = telemetry.counter("qat.recalibrations")
 
 
 def _make_quantizer(w: np.ndarray, bits: int, scheme: str):
@@ -75,33 +79,40 @@ def qat_finetune(
     step = 0
     last_loss = float("nan")
     model.train()
-    for _epoch, xb, yb in shuffled_epochs(
-        x_train, y_train, config.batch_size, config.epochs, rng=rng
-    ):
-        opt.lr = cosine_lr(config.lr, step, total_steps)
-        if step % config.recalibrate_every == 0:
-            # Re-run the (relatively costly) MSE scale search periodically;
-            # the quantization itself is re-applied from the *current*
-            # master weights on every step below.
-            quantizers = {
-                i: _make_quantizer(layer.weight.data, int(b), scheme)
-                for i, (layer, b) in enumerate(zip(layers, bits_per_layer))
-            }
-        masters = [layer.weight.data for layer in layers]
-        try:
-            # Forward/backward with fake-quantized weights (STE).
-            for i, layer in enumerate(layers):
-                layer.weight.data = quantizers[i](layer.weight.data).astype(
-                    layer.weight.data.dtype
-                )
-            logits = model.forward(xb)
-            last_loss = criterion.forward(logits, yb)
-            opt.zero_grad()
-            model.backward(criterion.backward())
-        finally:
-            for layer, master in zip(layers, masters):
-                layer.weight.data = master
-        opt.step()
-        step += 1
+    with telemetry.span("qat.finetune", epochs=config.epochs):
+        for _epoch, xb, yb in shuffled_epochs(
+            x_train, y_train, config.batch_size, config.epochs, rng=rng
+        ):
+            opt.lr = cosine_lr(config.lr, step, total_steps)
+            if step % config.recalibrate_every == 0:
+                # Re-run the (relatively costly) MSE scale search
+                # periodically; the quantization itself is re-applied from
+                # the *current* master weights on every step below.
+                with telemetry.span("qat.recalibrate"):
+                    quantizers = {
+                        i: _make_quantizer(layer.weight.data, int(b), scheme)
+                        for i, (layer, b) in enumerate(
+                            zip(layers, bits_per_layer)
+                        )
+                    }
+                _QAT_RECALIBRATIONS.add()
+            masters = [layer.weight.data for layer in layers]
+            with telemetry.span("qat.step"):
+                try:
+                    # Forward/backward with fake-quantized weights (STE).
+                    for i, layer in enumerate(layers):
+                        layer.weight.data = quantizers[i](
+                            layer.weight.data
+                        ).astype(layer.weight.data.dtype)
+                    logits = model.forward(xb)
+                    last_loss = criterion.forward(logits, yb)
+                    opt.zero_grad()
+                    model.backward(criterion.backward())
+                finally:
+                    for layer, master in zip(layers, masters):
+                        layer.weight.data = master
+                opt.step()
+            step += 1
+            _QAT_STEPS.add()
     model.eval()
     return {"final_train_loss": float(last_loss), "steps": float(step)}

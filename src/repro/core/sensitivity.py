@@ -41,13 +41,13 @@ from __future__ import annotations
 import hashlib
 import multiprocessing as mp
 import os
-import time
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..nn import CrossEntropyLoss
 from ..quant import QuantizedWeightTable
 from .sweep import EvalPlan, PrefixCache, SweepCheckpoint, build_eval_plan, select_cuts
@@ -56,6 +56,14 @@ __all__ = ["SensitivityResult", "SensitivityEngine", "block_id_from_name"]
 
 #: Default number of activation checkpoints each prefix cache may hold.
 DEFAULT_CACHE_BUDGET = 16
+
+#: Loss evaluations actually executed (naive: full forwards; segmented:
+#: replayed evaluations — resumed-from-checkpoint losses do not count).
+_FORWARD_EVALS = telemetry.counter("sensitivity.forward_evals")
+#: Individual segment forwards the segmented engine paid (prefix + replays).
+_SEGMENT_FORWARDS = telemetry.counter("sensitivity.segment_forwards")
+#: Evaluations restored from a resume checkpoint instead of re-running.
+_RESUMED_EVALS = telemetry.counter("sensitivity.resumed_evals")
 
 
 @dataclass
@@ -115,7 +123,11 @@ _FORK_STATE: Optional[Tuple["SensitivityEngine", EvalPlan, PrefixCache, list, in
 
 def _run_group_worker(group_idx: int):
     engine, plan, clean, batches, n = _FORK_STATE
-    return group_idx, engine._run_group(plan, group_idx, clean, batches, n)
+    # The forked child inherited the parent's collector; capture only what
+    # this task records and ship the delta home with the results.
+    with telemetry.fork_capture() as capture:
+        result = engine._run_group(plan, group_idx, clean, batches, n)
+    return group_idx, result, os.getpid(), capture.delta
 
 
 class SensitivityEngine:
@@ -172,6 +184,7 @@ class SensitivityEngine:
             xb = x[start : start + batch_size]
             yb = y[start : start + batch_size]
             total += self.criterion.forward(self.model.forward(xb), yb) * len(xb)
+        _FORWARD_EVALS.add()
         return self._check_finite(total / n)
 
     @staticmethod
@@ -325,7 +338,7 @@ class SensitivityEngine:
         progress: Optional[Callable[[int, int], None]],
         symmetric_diag: bool,
     ) -> SensitivityResult:
-        t0 = time.time()
+        t0 = telemetry.monotonic()
         bits = self.table.config.bits
         num_layers = len(self.table.layers)
         nb = len(bits)
@@ -341,20 +354,23 @@ class SensitivityEngine:
             if progress is not None:
                 progress(done, total_evals)
 
-        base_loss = self._loss(x, y, batch_size)
+        with telemetry.span("sweep.base"):
+            base_loss = self._loss(x, y, batch_size)
         tick()
 
         matrix = np.zeros((nvars, nvars))
         single = np.zeros((num_layers, nb))
         for i in range(num_layers):
             for m, b in enumerate(bits):
-                with self.table.perturbed((i, b)):
-                    loss = self._loss(x, y, batch_size)
+                with telemetry.span("sweep.diag", i=i, b=b):
+                    with self.table.perturbed((i, b)):
+                        loss = self._loss(x, y, batch_size)
                 single[i, m] = loss
                 if symmetric_diag:
                     # Mirror point w - Δ = 2w - Q(w): odd orders cancel.
-                    with self.table.mirrored(i, b):
-                        minus_loss = self._loss(x, y, batch_size)
+                    with telemetry.span("sweep.mirror", i=i, b=b):
+                        with self.table.mirrored(i, b):
+                            minus_loss = self._loss(x, y, batch_size)
                     omega_ii = loss + minus_loss - 2.0 * base_loss
                     tick()
                 else:
@@ -365,8 +381,9 @@ class SensitivityEngine:
         for i, j in pair_list:
             for m, bm in enumerate(bits):
                 for n, bn in enumerate(bits):
-                    with self.table.perturbed((i, bm), (j, bn)):
-                        pair_loss = self._loss(x, y, batch_size)
+                    with telemetry.span("sweep.pair", i=i, j=j):
+                        with self.table.perturbed((i, bm), (j, bn)):
+                            pair_loss = self._loss(x, y, batch_size)
                     omega = pair_loss + base_loss - single[i, m] - single[j, n]
                     matrix[i * nb + m, j * nb + n] = omega
                     matrix[j * nb + n, i * nb + m] = omega
@@ -377,7 +394,7 @@ class SensitivityEngine:
             base_loss=base_loss,
             single_losses=single,
             num_evals=total_evals,
-            wall_time=time.time() - t0,
+            wall_time=telemetry.monotonic() - t0,
             mode=mode,
             bits=tuple(bits),
             extras={"strategy": "naive", "workers": 1},
@@ -398,7 +415,7 @@ class SensitivityEngine:
         checkpoint_path: Optional[str],
         checkpoint_every: int,
     ) -> SensitivityResult:
-        t0 = time.time()
+        t0 = telemetry.monotonic()
         bits = self.table.config.bits
         num_layers = len(self.table.layers)
         nb = len(bits)
@@ -408,9 +425,11 @@ class SensitivityEngine:
         nseg = len(segments)
 
         self._active_cache_budget = cache_budget
-        plan = build_eval_plan(
-            num_layers, bits, pair_list, layer_segments, nseg, symmetric_diag, mode
-        )
+        with telemetry.span("sweep.plan"):
+            plan = build_eval_plan(
+                num_layers, bits, pair_list, layer_segments, nseg, symmetric_diag,
+                mode,
+            )
         total_evals = 1 + plan.num_evals
         done = 0
 
@@ -421,7 +440,7 @@ class SensitivityEngine:
                 if progress is not None:
                     progress(done, total_evals)
 
-        t_plan = time.time() - t0
+        t_plan = telemetry.monotonic() - t0
 
         # Clean prefix pass: one full forward per batch, checkpointing the
         # cuts replays start from; the final outputs give the base loss.
@@ -438,16 +457,19 @@ class SensitivityEngine:
                 if p.start_segment < g.segment:
                     clean_freq[p.start_segment] += 1
         clean = PrefixCache(segments, select_cuts(clean_freq, cache_budget) | {0})
-        base_total = 0.0
-        for b, (xb, yb) in enumerate(batches):
-            a = xb
-            for k, seg in enumerate(segments):
-                clean.put(b, k, a)
-                a = seg.forward(a)
-            base_total += self.criterion.forward(a, yb) * len(xb)
-        base_loss = self._check_finite(base_total / n)
+        with telemetry.span("sweep.prefix"):
+            base_total = 0.0
+            for b, (xb, yb) in enumerate(batches):
+                a = xb
+                for k, seg in enumerate(segments):
+                    clean.put(b, k, a)
+                    a = seg.forward(a)
+                base_total += self.criterion.forward(a, yb) * len(xb)
+            base_loss = self._check_finite(base_total / n)
+        _FORWARD_EVALS.add()
+        _SEGMENT_FORWARDS.add(nseg * len(batches))
         tick()
-        t_prefix = time.time() - t0 - t_plan
+        t_prefix = telemetry.monotonic() - t0 - t_plan
 
         checkpoint: Optional[SweepCheckpoint] = None
         losses: Dict[int, float] = {}
@@ -466,30 +488,33 @@ class SensitivityEngine:
         resumed = plan.num_evals - sum(
             sum(1 for _ in plan.groups[gi].specs()) for gi in pending
         )
+        if resumed:
+            _RESUMED_EVALS.add(resumed)
         tick(resumed)
 
         segment_work = 0
         workers = min(num_workers, max(1, len(pending)))
-        t_eval_start = time.time()
+        t_eval_start = telemetry.monotonic()
         try:
-            if workers > 1:
-                segment_work += self._run_groups_parallel(
-                    plan, pending, clean, batches, n, workers,
-                    losses, checkpoint, tick,
-                )
-            else:
-                for gi in pending:
-                    results, work = self._run_group(plan, gi, clean, batches, n)
-                    segment_work += work
-                    for index, loss in results:
-                        losses[index] = loss
-                        if checkpoint is not None:
-                            checkpoint.record(index, loss)
-                    tick(len(results))
+            with telemetry.span("sweep.evals", workers=workers):
+                if workers > 1:
+                    segment_work += self._run_groups_parallel(
+                        plan, pending, clean, batches, n, workers,
+                        losses, checkpoint, tick,
+                    )
+                else:
+                    for gi in pending:
+                        results, work = self._run_group(plan, gi, clean, batches, n)
+                        segment_work += work
+                        for index, loss in results:
+                            losses[index] = loss
+                            if checkpoint is not None:
+                                checkpoint.record(index, loss)
+                        tick(len(results))
         finally:
             if checkpoint is not None:
                 checkpoint.flush()
-        t_evals = time.time() - t_eval_start
+        t_evals = telemetry.monotonic() - t_eval_start
 
         # Deterministic reassembly: entries depend only on plan indices, so
         # the matrix is independent of execution order and worker count.
@@ -511,7 +536,7 @@ class SensitivityEngine:
                 matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
                 matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
 
-        wall = time.time() - t0
+        wall = telemetry.monotonic() - t0
         num_batches = len(batches)
         prefix_work = nseg * num_batches
         naive_work = total_evals * nseg * num_batches
@@ -577,9 +602,10 @@ class SensitivityEngine:
         try:
             with ctx.Pool(processes=workers) as pool:
                 chunksize = max(1, len(pending) // (workers * 4))
-                for _, (results, work) in pool.imap_unordered(
+                for _, (results, work), pid, delta in pool.imap_unordered(
                     _run_group_worker, pending, chunksize=chunksize
                 ):
+                    telemetry.merge_delta(delta, worker=pid)
                     segment_work += work
                     for index, loss in results:
                         losses[index] = loss
@@ -628,36 +654,44 @@ class SensitivityEngine:
             segments, select_cuts(group_freq, self._active_cache_budget) | {g.segment}
         )
 
-        with self.table.perturbed((g.i, bits[g.m])):
+        with telemetry.span("sweep.group", i=g.i), self.table.perturbed(
+            (g.i, bits[g.m])
+        ):
             # Diagonal evaluation + perturbed-suffix checkpointing.
-            total = 0.0
-            for b, (xb, yb) in enumerate(batches):
-                a = clean.activation(b, g.segment)
-                for k in range(g.segment, nseg):
-                    group_cache.put(b, k, a)
-                    a = segments[k].forward(a)
-                    work += 1
-                total += self.criterion.forward(a, yb) * len(xb)
-            out.append((g.diag.index, self._check_finite(total / n)))
+            with telemetry.span("sweep.diag", i=g.i):
+                total = 0.0
+                for b, (xb, yb) in enumerate(batches):
+                    a = clean.activation(b, g.segment)
+                    for k in range(g.segment, nseg):
+                        group_cache.put(b, k, a)
+                        a = segments[k].forward(a)
+                        work += 1
+                    total += self.criterion.forward(a, yb) * len(xb)
+                out.append((g.diag.index, self._check_finite(total / n)))
+            _FORWARD_EVALS.add()
 
             for p in g.pairs:
-                with self.table.perturbed((p.j, bits[p.n])):
-                    total = 0.0
-                    for b, (xb, yb) in enumerate(batches):
-                        if p.start_segment >= g.segment:
-                            a = group_cache.activation(b, p.start_segment)
-                        else:
-                            # Partner sits before the anchor segment (layer
-                            # enumeration not in forward order): both
-                            # perturbations are applied, replay from clean.
-                            a = clean.activation(b, p.start_segment)
-                        a, replayed = self._replay(p.start_segment, a)
-                        work += replayed
-                        total += self.criterion.forward(a, yb) * len(xb)
-                    out.append((p.index, self._check_finite(total / n)))
+                with telemetry.span("sweep.pair", i=p.i, j=p.j):
+                    with self.table.perturbed((p.j, bits[p.n])):
+                        total = 0.0
+                        for b, (xb, yb) in enumerate(batches):
+                            if p.start_segment >= g.segment:
+                                a = group_cache.activation(b, p.start_segment)
+                            else:
+                                # Partner sits before the anchor segment (layer
+                                # enumeration not in forward order): both
+                                # perturbations are applied, replay from clean.
+                                a = clean.activation(b, p.start_segment)
+                            a, replayed = self._replay(p.start_segment, a)
+                            work += replayed
+                            total += self.criterion.forward(a, yb) * len(xb)
+                        out.append((p.index, self._check_finite(total / n)))
+                _FORWARD_EVALS.add()
 
         if g.mirror is not None:
-            with self.table.mirrored(g.i, bits[g.m]):
+            with telemetry.span("sweep.mirror", i=g.i), self.table.mirrored(
+                g.i, bits[g.m]
+            ):
                 total = 0.0
                 for b, (xb, yb) in enumerate(batches):
                     a = clean.activation(b, g.segment)
@@ -665,7 +699,9 @@ class SensitivityEngine:
                     work += replayed
                     total += self.criterion.forward(a, yb) * len(xb)
                 out.append((g.mirror.index, self._check_finite(total / n)))
+            _FORWARD_EVALS.add()
 
         work += clean.recomputed_segments - clean_work0
         work += group_cache.recomputed_segments
+        _SEGMENT_FORWARDS.add(work)
         return out, work

@@ -33,6 +33,8 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from .. import telemetry
+
 __all__ = [
     "EvalSpec",
     "GroupPlan",
@@ -234,6 +236,11 @@ def select_cuts(freq: Mapping[int, int], budget: Optional[int]) -> Set[int]:
     return set(ranked[: max(0, budget)])
 
 
+_CACHE_HITS = telemetry.counter("sweep.prefix_cache_hits")
+_CACHE_MISSES = telemetry.counter("sweep.prefix_cache_misses")
+_RECOMPUTED = telemetry.counter("sweep.recomputed_segments")
+
+
 class PrefixCache:
     """Per-batch activation checkpoints at a bounded set of segment cuts.
 
@@ -261,7 +268,9 @@ class PrefixCache:
     def activation(self, batch: int, cut: int) -> np.ndarray:
         if (batch, cut) in self._store:
             self.hits += 1
+            _CACHE_HITS.add()
             return self._store[(batch, cut)]
+        _CACHE_MISSES.add()
         stored = [c for (b, c) in self._store if b == batch and c <= cut]
         if not stored:
             raise KeyError(
@@ -269,9 +278,12 @@ class PrefixCache:
             )
         base = max(stored)
         x = self._store[(batch, base)]
+        recomputed = cut - base
         for k in range(base, cut):
             x = self.segments[k].forward(x)
             self.recomputed_segments += 1
+        if recomputed:
+            _RECOMPUTED.add(recomputed)
         return x
 
     @property

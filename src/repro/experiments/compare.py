@@ -12,7 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import upq_assignment
+from ..core import SolverConfig, upq_assignment
 from ..core.clado import CLADO, MPQAssignment
 from ..quant import bytes_to_mb
 from .config import effective_avg_bits, model_quant_config
@@ -120,7 +120,8 @@ def compare_algorithms(
         result.sizes_mb.append(bytes_to_mb(budget / 8.0))
         for kind, algo in algos.items():
             assignment = algo.allocate(
-                budget, time_limit=ctx.scale.solver_time_limit
+                budget,
+                solver=SolverConfig(time_limit=ctx.scale.solver_time_limit),
             ) if isinstance(algo, CLADO) else algo.allocate(budget)
             loss, acc = ctx.evaluate(algo, assignment)
             result.accuracy.setdefault(kind, []).append(100.0 * acc)

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..core import min_eigenvalue, psd_violation
+from ..core import SolverConfig, min_eigenvalue, psd_violation
 from .compare import compare_algorithms
 from .config import model_quant_config
 from .runner import ExperimentContext
@@ -92,7 +92,7 @@ def run_fig7(
         for avg_bits in avg_bits_list:
             assignment = algo.allocate(
                 ctx.budget(model_name, avg_bits),
-                time_limit=ctx.scale.solver_time_limit,
+                solver=SolverConfig(time_limit=ctx.scale.solver_time_limit),
             )
             certified = bool(assignment.solver.optimal)
             seconds = float(assignment.solver.wall_time)

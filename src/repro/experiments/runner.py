@@ -19,9 +19,9 @@ import numpy as np
 
 from ..core import (
     CLADO,
-    HAWQ,
-    MPQCO,
+    SensitivityConfig,
     SensitivityResult,
+    build_algorithm,
     evaluate_assignment,
     setup_activation_quant,
 )
@@ -96,23 +96,21 @@ class ExperimentContext:
         model_name: str,
         model=None,
         config: Optional[QuantConfig] = None,
+        sensitivity: Optional[SensitivityConfig] = None,
     ) -> MPQAlgorithm:
-        """Instantiate one of the paper's algorithms for a model."""
+        """Instantiate one of the paper's algorithms for a model.
+
+        Thin wrapper over :func:`repro.core.build_algorithm` — the same
+        factory the CLI uses — pre-seeded with this context's scale
+        (Hutchinson probe count).
+        """
         model = model if model is not None else self.model(model_name)
         config = config or model_quant_config(model_name)
-        if kind == "clado":
-            return CLADO(model, model_name, config, mode="full")
-        if kind == "clado_star":
-            return CLADO(model, model_name, config, mode="diagonal")
-        if kind == "clado_block":
-            return CLADO(model, model_name, config, mode="block")
-        if kind == "clado_nopsd":
-            return CLADO(model, model_name, config, mode="full", use_psd=False)
-        if kind == "hawq":
-            return HAWQ(model, model_name, config, probes=self.scale.hawq_probes)
-        if kind == "mpqco":
-            return MPQCO(model, model_name, config)
-        raise ValueError(f"unknown algorithm kind {kind!r}")
+        if sensitivity is None:
+            sensitivity = SensitivityConfig(probes=self.scale.hawq_probes)
+        return build_algorithm(
+            kind, model, model_name, config, sensitivity=sensitivity
+        )
 
     # -- sensitivity caching -----------------------------------------------------------
     def _sensitivity_cache_path(

@@ -1,16 +1,20 @@
 """§5.2 runtime comparison: sensitivity-measurement cost per algorithm.
 
 The paper's profile: CLADO and HAWQ take comparable time (hours on GPU),
-MPQCO minutes.  Here we report measurement *counts* (which are exact,
-machine-independent reproductions of the paper's formulas) alongside
-measured wall time on this substrate.
+MPQCO minutes.  Here the costs are *measured* — every preparation runs
+inside a telemetry run, and each row reports the run's counters
+(``sensitivity.forward_evals``, ``hessian.backward_passes``) together with
+a link to the full manifest under ``reports/runs/``.  The counts are
+exact, machine-independent reproductions of the paper's formulas; the
+closed-form expectations are kept alongside as a cross-check.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..models import quantizable_layers
 from .config import model_quant_config
 from .runner import ExperimentContext
@@ -20,19 +24,34 @@ __all__ = ["RuntimeRow", "run_runtime", "format_runtime"]
 
 @dataclass
 class RuntimeRow:
+    """Measured preparation cost of one algorithm (one telemetry run)."""
+
     algorithm: str
     forward_evals: int
     backward_passes: int
     wall_seconds: float
-    # Engine-reported execution details (strategy, workers, cache stats...)
-    # for algorithms that expose them; empty for closed-form baselines.
-    details: Dict[str, object] = field(default_factory=dict)
+    #: Closed-form expected forward evals (0 for gradient-based baselines).
+    expected_forward_evals: int = 0
+    #: Path of the run manifest this row was extracted from.
+    manifest: Optional[str] = None
+    #: Full counter snapshot from the manifest (cache hits, QP iters, ...).
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+def _expected_forward_evals(kind: str, num_layers: int, nb: int) -> int:
+    """The paper's measurement-count formulas (naive full sweep)."""
+    if kind == "clado":
+        return 1 + num_layers * nb + (num_layers * (num_layers - 1) // 2) * nb * nb
+    if kind == "clado_star":
+        return 1 + num_layers * nb
+    return 0
 
 
 def run_runtime(
     ctx: ExperimentContext,
     model_name: str = "resnet_s34",
     set_size: int = 64,
+    manifest_dir=None,
 ) -> List[RuntimeRow]:
     """Measure preparation cost of each algorithm on one model."""
     model = ctx.model(model_name)
@@ -45,30 +64,30 @@ def run_runtime(
     rows: List[RuntimeRow] = []
     for kind in ("clado", "clado_star", "hawq", "mpqco"):
         algo = ctx.make_algorithm(kind, model_name, config=config)
-        algo.prepare(x, y)
-        if kind == "clado":
-            evals = 1 + num_layers * nb + (num_layers * (num_layers - 1) // 2) * nb * nb
-            backward = 0
-        elif kind == "clado_star":
-            evals = 1 + num_layers * nb
-            backward = 0
-        elif kind == "hawq":
-            evals = 0
-            backward = 2 * ctx.scale.hawq_probes  # central differences
-        else:  # mpqco
-            evals = 0
-            backward = (set_size + 255) // 256
-        details: Dict[str, object] = {}
-        raw = getattr(algo, "raw", None)
-        if raw is not None and getattr(raw, "extras", None):
-            details = dict(raw.extras)
+        with telemetry.start_run(
+            f"runtime.{kind}",
+            config={
+                "model": model_name,
+                "kind": kind,
+                "set_size": set_size,
+                "bits": list(config.bits),
+            },
+            manifest_dir=manifest_dir,
+        ) as run:
+            algo.prepare(x, y)
+        doc = telemetry.load_manifest(run.path)
+        counters = {k: int(v) for k, v in (doc.get("counters") or {}).items()}
         rows.append(
             RuntimeRow(
                 algorithm=algo.name,
-                forward_evals=evals,
-                backward_passes=backward,
+                forward_evals=counters.get("sensitivity.forward_evals", 0),
+                backward_passes=counters.get("hessian.backward_passes", 0),
                 wall_seconds=algo.prepare_time,
-                details=details,
+                expected_forward_evals=_expected_forward_evals(
+                    kind, num_layers, nb
+                ),
+                manifest=str(run.path),
+                counters=counters,
             )
         )
     return rows
@@ -86,13 +105,15 @@ def format_runtime(model_name: str, rows: Sequence[RuntimeRow]) -> str:
             f"{row.backward_passes:>12}{row.wall_seconds:>12.1f}"
         )
     for row in rows:
-        d = row.details
-        if d.get("strategy") == "segmented":
-            saved = float(d.get("segment_work_saved", 0.0))
+        saved = row.counters.get("sweep.prefix_cache_hits")
+        if saved:
             lines.append(
                 f"  {row.algorithm}: segmented sweep, "
-                f"{d.get('workers', 1)} worker(s), "
-                f"{d.get('num_segments', '?')} segments, "
-                f"{saved:.0%} layer-work saved vs full replays"
+                f"{saved} prefix-cache hits, "
+                f"{row.counters.get('sweep.recomputed_segments', 0)} "
+                f"segments recomputed"
             )
+    for row in rows:
+        if row.manifest:
+            lines.append(f"  manifest[{row.algorithm}]: {row.manifest}")
     return "\n".join(lines)

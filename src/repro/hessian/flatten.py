@@ -6,7 +6,13 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
+
 __all__ = ["gather_weights", "scatter_weights", "gather_grads", "loss_and_grads"]
+
+#: Full forward+backward passes — the unit of cost for gradient-based
+#: sensitivity baselines (HAWQ's Hutchinson HVPs, MPQCO's Fisher pass).
+_BACKWARD_PASSES = telemetry.counter("hessian.backward_passes")
 
 
 def gather_weights(layers: Sequence) -> List[np.ndarray]:
@@ -49,4 +55,5 @@ def loss_and_grads(
     logits = model.forward(x)
     loss = criterion.forward(logits, y)
     model.backward(criterion.backward())
+    _BACKWARD_PASSES.add()
     return loss, gather_grads(layers)

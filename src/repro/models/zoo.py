@@ -11,13 +11,13 @@ first is instant.
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..data import SyntheticImageNet, iterate_batches, make_dataset, shuffled_epochs
 from ..nn import Adam, CrossEntropyLoss, Module, SGD, accuracy, cosine_lr
 from .registry import build_model
@@ -88,7 +88,7 @@ def train_model(
     rng = np.random.default_rng(config.seed)
     model.train()
     step = 0
-    t0 = time.time()
+    t0 = telemetry.monotonic()
     for epoch, xb, yb in shuffled_epochs(
         x_train, y_train, config.batch_size, config.epochs, rng=rng
     ):
@@ -100,9 +100,9 @@ def train_model(
         opt.step()
         step += 1
         if verbose and step % steps_per_epoch == 0:
-            print(
+            telemetry.emit(
                 f"  epoch {epoch + 1}/{config.epochs} "
-                f"loss={loss:.3f} ({time.time() - t0:.1f}s)"
+                f"loss={loss:.3f} ({telemetry.monotonic() - t0:.1f}s)"
             )
     model.eval()
     train_loss, train_acc = evaluate_model(model, x_train[:512], y_train[:512])
@@ -162,14 +162,14 @@ def get_pretrained(
             # A truncated/corrupt cache (e.g. interrupted save) should cost
             # a retrain, not crash every downstream experiment.
             if verbose:
-                print(f"cached model {path} unreadable ({exc!r}); retraining")
+                telemetry.emit(f"cached model {path} unreadable ({exc!r}); retraining")
         else:
             model.eval()
             return model, metrics
 
     recipe = _RECIPES.get(name, TrainConfig())
     if verbose:
-        print(f"training zoo model {name!r} (recipe: {recipe})")
+        telemetry.emit(f"training zoo model {name!r} (recipe: {recipe})")
     metrics = train_model(model, dataset, recipe, verbose=verbose)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {f"state/{k}": v for k, v in model.state_dict().items()}

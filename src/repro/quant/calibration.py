@@ -11,9 +11,14 @@ from typing import Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .quantizers import quantize_symmetric
 
 __all__ = ["mse_optimal_scale", "affine_minmax_params", "calibrate_activations"]
+
+#: MSE grid searches / min-max calibrations performed (cost accounting for
+#: per-(layer, bit) table construction and QAT re-calibration).
+_CALIBRATION_CALLS = telemetry.counter("quant.calibration_calls")
 
 
 def mse_optimal_scale(
@@ -21,10 +26,18 @@ def mse_optimal_scale(
 ) -> float:
     """Grid-search the symmetric scale minimizing ||w - Q(w)||^2.
 
-    Candidate scales sweep ``[low, 1.0] * max|w| / qmax``; for very low
+    Candidate scales sweep ``[low, 1.0] * max|w| / qmax(k)`` for *every*
+    candidate bit-width ``k <= bits``, not just ``k = bits``.  For very low
     bit-widths the optimum sits well below the max-abs scale because
     clipping outliers is cheaper than coarsening the grid for the bulk.
+    Nesting the grids across bit-widths makes the optimal MSE monotone
+    non-increasing in ``bits``: at any fixed scale a wider signed grid has
+    element-wise error <= a narrower one, and the candidate set for ``b``
+    contains the candidate set for every ``b' < b`` — so more bits can
+    never calibrate to a *worse* MSE (which a single per-``bits`` grid does
+    not guarantee and occasionally violated in practice).
     """
+    _CALIBRATION_CALLS.add()
     w = np.asarray(w)
     max_abs = float(np.abs(w).max(initial=0.0))
     qmax = 2 ** (bits - 1) - 1
@@ -34,12 +47,15 @@ def mse_optimal_scale(
         return max_abs
     best_scale = max_abs / qmax
     best_err = np.inf
-    for ratio in np.linspace(low, 1.0, grid):
-        scale = ratio * max_abs / qmax
-        err = float(((w - quantize_symmetric(w, bits, scale)) ** 2).sum())
-        if err < best_err:
-            best_err = err
-            best_scale = scale
+    ratios = np.linspace(low, 1.0, grid)
+    divisors = sorted({2 ** (k - 1) - 1 for k in range(2, bits + 1)})
+    for divisor in divisors:
+        for ratio in ratios:
+            scale = ratio * max_abs / divisor
+            err = float(((w - quantize_symmetric(w, bits, scale)) ** 2).sum())
+            if err < best_err:
+                best_err = err
+                best_scale = scale
     return best_scale
 
 
@@ -48,6 +64,7 @@ def affine_minmax_params(w: np.ndarray, bits: int) -> Tuple[np.ndarray, np.ndarr
 
     Returns ``(scale, zero_point)`` arrays of shape ``(C_out,)``.
     """
+    _CALIBRATION_CALLS.add()
     flat = np.asarray(w).reshape(w.shape[0], -1)
     w_min = flat.min(axis=1)
     w_max = flat.max(axis=1)
@@ -70,13 +87,15 @@ def calibrate_activations(model, layers, images, bits: int = 8) -> None:
     """
     from .quantizers import ActivationQuantizer
 
-    quantizers = []
-    for layer in layers:
-        quant = ActivationQuantizer(bits)
-        quant.recording = True
-        layer.module.act_quant = quant
-        quantizers.append(quant)
-    model.eval()
-    model.forward(images)
-    for quant in quantizers:
-        quant.finalize()
+    with telemetry.span("quant.calibrate_activations"):
+        quantizers = []
+        for layer in layers:
+            quant = ActivationQuantizer(bits)
+            quant.recording = True
+            layer.module.act_quant = quant
+            quantizers.append(quant)
+        model.eval()
+        model.forward(images)
+        for quant in quantizers:
+            quant.finalize()
+        _CALIBRATION_CALLS.add(len(quantizers))

@@ -11,10 +11,11 @@ from .branch_bound import solve_branch_and_bound
 from .dp import solve_dp
 from .exhaustive import solve_exhaustive
 from .greedy import greedy_construct, local_search, solve_greedy
-from .problem import MPQProblem, SolveResult
+from .problem import InfeasibleBudgetError, MPQProblem, SolveResult
 from .qp_relax import RelaxationResult, solve_relaxation
 
 __all__ = [
+    "InfeasibleBudgetError",
     "MPQProblem",
     "SolveResult",
     "solve",

@@ -23,18 +23,22 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import time
+from time import perf_counter
 from typing import Dict, Optional
 
 import numpy as np
 
+from .. import telemetry
 from .greedy import greedy_construct, local_search
-from .problem import MPQProblem, SolveResult
+from .problem import InfeasibleBudgetError, MPQProblem, SolveResult
 from .qp_relax import solve_relaxation
 
 __all__ = ["solve_branch_and_bound"]
 
 _BOUND_SLACK = 1e-9
+
+_NODES_EXPANDED = telemetry.counter("solver.bb_nodes_expanded")
+_BOUNDS_PRUNED = telemetry.counter("solver.bb_bounds_pruned")
 
 
 def _round_and_repair(problem: MPQProblem, alpha: np.ndarray) -> np.ndarray:
@@ -90,7 +94,7 @@ def solve_branch_and_bound(
         Force the PSD/indefinite code path; by default it is detected from
         the smallest eigenvalue of the symmetrized matrix.
     """
-    t0 = time.time()
+    t0 = perf_counter()
     g_sym = 0.5 * (problem.sensitivity + problem.sensitivity.T)
     if assume_psd is None:
         min_eig = float(np.linalg.eigvalsh(g_sym).min())
@@ -118,65 +122,72 @@ def solve_branch_and_bound(
     best_obj = problem.objective(incumbent)
 
     counter = itertools.count()
-    root = solve_relaxation(bound_problem, fixed={})
-    if not root.feasible:
-        raise ValueError("root relaxation infeasible: budget below min size")
-    heap = [(node_bound(root.lower_bound), next(counter), {}, root.alpha)]
-    nodes = 0
-    proven = True
-    lower_bound_global = node_bound(root.lower_bound)
-
-    while heap:
-        lb, _, fixed, alpha = heapq.heappop(heap)
-        lower_bound_global = lb
-        if lb >= best_obj - gap_tol:
-            break  # everything remaining is dominated
-        if nodes >= max_nodes or time.time() - t0 > time_limit:
-            proven = False
-            break
-        nodes += 1
-
-        # Candidate incumbent from this node's relaxation.
-        try:
-            rounded = _round_and_repair(problem, alpha)
-            rounded = local_search(problem, rounded)
-            obj = problem.objective(rounded)
-            if obj < best_obj - 1e-15:
-                best_obj = obj
-                incumbent = rounded
-        except ValueError:
-            pass
-
-        # Pick branching layer: most fractional free block.
-        nb = problem.num_choices
-        frac = [
-            (_fractionality(alpha[i * nb : (i + 1) * nb]), i)
-            for i in range(problem.num_layers)
-            if i not in fixed
-        ]
-        if not frac:
-            continue  # fully fixed leaf
-        frac.sort(reverse=True)
-        branch_layer = frac[0][1]
-        if frac[0][0] < 1e-9:
-            # Relaxation is integral at this node: its bound equals the
-            # objective of the integral solution; nothing to branch on.
-            continue
-
-        for m in range(problem.num_choices):
-            child_fixed: Dict[int, int] = dict(fixed)
-            child_fixed[branch_layer] = m
-            relax = solve_relaxation(
-                bound_problem, fixed=child_fixed, warm_start=alpha
+    with telemetry.span("solve.bb"):
+        root = solve_relaxation(bound_problem, fixed={})
+        if not root.feasible:
+            raise InfeasibleBudgetError(
+                "root relaxation infeasible: budget below min size",
+                budget_bits=int(problem.budget_bits),
+                min_size_bits=problem.min_size_bits(),
             )
-            if not relax.feasible:
+        heap = [(node_bound(root.lower_bound), next(counter), {}, root.alpha)]
+        nodes = 0
+        proven = True
+        lower_bound_global = node_bound(root.lower_bound)
+
+        while heap:
+            lb, _, fixed, alpha = heapq.heappop(heap)
+            lower_bound_global = lb
+            if lb >= best_obj - gap_tol:
+                break  # everything remaining is dominated
+            if nodes >= max_nodes or perf_counter() - t0 > time_limit:
+                proven = False
+                break
+            nodes += 1
+            _NODES_EXPANDED.add()
+
+            # Candidate incumbent from this node's relaxation.
+            try:
+                rounded = _round_and_repair(problem, alpha)
+                rounded = local_search(problem, rounded)
+                obj = problem.objective(rounded)
+                if obj < best_obj - 1e-15:
+                    best_obj = obj
+                    incumbent = rounded
+            except ValueError:
+                pass
+
+            # Pick branching layer: most fractional free block.
+            nb = problem.num_choices
+            frac = [
+                (_fractionality(alpha[i * nb : (i + 1) * nb]), i)
+                for i in range(problem.num_layers)
+                if i not in fixed
+            ]
+            if not frac:
+                continue  # fully fixed leaf
+            frac.sort(reverse=True)
+            branch_layer = frac[0][1]
+            if frac[0][0] < 1e-9:
+                # Relaxation is integral at this node: its bound equals the
+                # objective of the integral solution; nothing to branch on.
                 continue
-            child_lb = node_bound(relax.lower_bound) - _BOUND_SLACK
-            if child_lb >= best_obj - gap_tol:
-                continue
-            heapq.heappush(
-                heap, (child_lb, next(counter), child_fixed, relax.alpha)
-            )
+
+            for m in range(problem.num_choices):
+                child_fixed: Dict[int, int] = dict(fixed)
+                child_fixed[branch_layer] = m
+                relax = solve_relaxation(
+                    bound_problem, fixed=child_fixed, warm_start=alpha
+                )
+                if not relax.feasible:
+                    continue
+                child_lb = node_bound(relax.lower_bound) - _BOUND_SLACK
+                if child_lb >= best_obj - gap_tol:
+                    _BOUNDS_PRUNED.add()
+                    continue
+                heapq.heappush(
+                    heap, (child_lb, next(counter), child_fixed, relax.alpha)
+                )
 
     return SolveResult(
         choice=incumbent,
@@ -185,7 +196,7 @@ def solve_branch_and_bound(
         optimal=proven and assume_psd,
         method="branch_and_bound",
         nodes=nodes,
-        wall_time=time.time() - t0,
+        wall_time=perf_counter() - t0,
         lower_bound=min(lower_bound_global, best_obj),
         message="certified optimum" if (proven and assume_psd) else "incumbent",
         extras={"psd": bool(assume_psd), "shift": shift},

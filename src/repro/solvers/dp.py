@@ -10,12 +10,13 @@ giving an independent cross-check for branch-and-bound in tests.
 from __future__ import annotations
 
 import math
-import time
+from time import perf_counter
 from typing import Optional
 
 import numpy as np
 
-from .problem import MPQProblem, SolveResult
+from .. import telemetry
+from .problem import InfeasibleBudgetError, MPQProblem, SolveResult
 
 __all__ = ["solve_dp"]
 
@@ -37,7 +38,7 @@ def solve_dp(
     max_capacity_units:
         Safety cap on the DP table width after gcd scaling.
     """
-    t0 = time.time()
+    t0 = perf_counter()
     if problem.extra_constraints:
         raise ValueError(
             "solve_dp handles the single size budget only; use "
@@ -63,9 +64,11 @@ def solve_dp(
     weights_u = weights // unit
     capacity = problem.budget_bits // unit
     if capacity < weights_u.min(axis=1).sum():
-        raise ValueError(
+        raise InfeasibleBudgetError(
             f"no feasible assignment: min size {problem.min_size_bits()} bits "
-            f"> budget {problem.budget_bits} bits"
+            f"> budget {problem.budget_bits} bits",
+            budget_bits=int(problem.budget_bits),
+            min_size_bits=problem.min_size_bits(),
         )
     # Don't allocate more capacity than the problem can ever use.
     capacity = min(capacity, int(weights_u.max(axis=1).sum()))
@@ -75,31 +78,37 @@ def solve_dp(
         )
 
     inf = np.inf
-    f = np.full(capacity + 1, inf)
-    f[0] = 0.0
-    # parent[i, c] = chosen m for layer i when ending at capacity c
-    parent = np.full((problem.num_layers, capacity + 1), -1, dtype=np.int8)
-    for i in range(problem.num_layers):
-        f_new = np.full(capacity + 1, inf)
-        # Iterate bit choices from highest to lowest: with strict improvement
-        # tests below, equal-cost ties then resolve to the HIGHER precision,
-        # so zero-cost layers never burn accuracy to save budget nobody needs.
-        for m in range(problem.num_choices - 1, -1, -1):
-            w = int(weights_u[i, m])
-            if w > capacity:
-                continue
-            cand = np.full(capacity + 1, inf)
-            cand[w:] = f[: capacity + 1 - w] + costs[i, m]
-            better = cand < f_new
-            f_new[better] = cand[better]
-            parent[i, better] = m
-        f = f_new
+    with telemetry.span("solve.dp"):
+        f = np.full(capacity + 1, inf)
+        f[0] = 0.0
+        # parent[i, c] = chosen m for layer i when ending at capacity c
+        parent = np.full((problem.num_layers, capacity + 1), -1, dtype=np.int8)
+        for i in range(problem.num_layers):
+            f_new = np.full(capacity + 1, inf)
+            # Iterate bit choices from highest to lowest: with strict
+            # improvement tests below, equal-cost ties then resolve to the
+            # HIGHER precision, so zero-cost layers never burn accuracy to
+            # save budget nobody needs.
+            for m in range(problem.num_choices - 1, -1, -1):
+                w = int(weights_u[i, m])
+                if w > capacity:
+                    continue
+                cand = np.full(capacity + 1, inf)
+                cand[w:] = f[: capacity + 1 - w] + costs[i, m]
+                better = cand < f_new
+                f_new[better] = cand[better]
+                parent[i, better] = m
+            f = f_new
 
     # Best end capacity: objective is non-increasing in allowed capacity,
     # but f is indexed by *exact* used capacity, so take the min over all.
     end = int(np.argmin(f))
     if not math.isfinite(f[end]):
-        raise ValueError("DP found no feasible assignment")
+        raise InfeasibleBudgetError(
+            "DP found no feasible assignment",
+            budget_bits=int(problem.budget_bits),
+            min_size_bits=problem.min_size_bits(),
+        )
     choice = np.zeros(problem.num_layers, dtype=np.int64)
     c = end
     for i in range(problem.num_layers - 1, -1, -1):
@@ -119,6 +128,6 @@ def solve_dp(
         optimal=True,
         method="dp",
         nodes=capacity + 1,
-        wall_time=time.time() - t0,
+        wall_time=perf_counter() - t0,
         extras={"unit_bits": unit},
     )

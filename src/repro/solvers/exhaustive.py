@@ -8,11 +8,11 @@ search space ``|B|^I`` must stay below a configurable cap.
 from __future__ import annotations
 
 import itertools
-import time
+from time import perf_counter
 
 import numpy as np
 
-from .problem import MPQProblem, SolveResult
+from .problem import InfeasibleBudgetError, MPQProblem, SolveResult
 
 __all__ = ["solve_exhaustive"]
 
@@ -32,7 +32,7 @@ def solve_exhaustive(problem: MPQProblem, max_nodes: int = 2_000_000) -> SolveRe
             f"exhaustive search space {space} exceeds cap {max_nodes}; "
             "use branch-and-bound instead"
         )
-    t0 = time.time()
+    t0 = perf_counter()
     best_choice = None
     best_obj = np.inf
     nodes = 0
@@ -48,9 +48,11 @@ def solve_exhaustive(problem: MPQProblem, max_nodes: int = 2_000_000) -> SolveRe
             best_obj = obj
             best_choice = choice
     if best_choice is None:
-        raise ValueError(
+        raise InfeasibleBudgetError(
             f"no feasible assignment: even all-min-bits exceeds budget "
-            f"({problem.min_size_bits()} > {problem.budget_bits} bits)"
+            f"({problem.min_size_bits()} > {problem.budget_bits} bits)",
+            budget_bits=int(problem.budget_bits),
+            min_size_bits=problem.min_size_bits(),
         )
     return SolveResult(
         choice=best_choice,
@@ -59,5 +61,5 @@ def solve_exhaustive(problem: MPQProblem, max_nodes: int = 2_000_000) -> SolveRe
         optimal=True,
         method="exhaustive",
         nodes=nodes,
-        wall_time=time.time() - t0,
+        wall_time=perf_counter() - t0,
     )

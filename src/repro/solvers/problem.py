@@ -14,7 +14,26 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["MPQProblem", "SolveResult"]
+__all__ = ["InfeasibleBudgetError", "MPQProblem", "SolveResult"]
+
+
+class InfeasibleBudgetError(ValueError):
+    """The size budget is below the all-minimum-bits model size.
+
+    Raised uniformly by solvers and allocators (instead of bare asserts or
+    ``None`` returns) so callers — in particular the CLI — can turn an
+    impossible budget into one clean, actionable error message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget_bits: Optional[int] = None,
+        min_size_bits: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget_bits = budget_bits
+        self.min_size_bits = min_size_bits
 
 
 @dataclass

@@ -16,9 +16,13 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 from scipy import optimize
 
+from .. import telemetry
 from .problem import MPQProblem
 
 __all__ = ["RelaxationResult", "solve_relaxation"]
+
+_QP_RELAXATIONS = telemetry.counter("solver.qp_relaxations")
+_QP_ITERATIONS = telemetry.counter("solver.qp_iterations")
 
 
 @dataclass
@@ -172,6 +176,8 @@ def solve_relaxation(
         method="SLSQP",
         options={"maxiter": max_iter, "ftol": 1e-12},
     )
+    _QP_RELAXATIONS.add()
+    _QP_ITERATIONS.add(max(0, int(getattr(res, "nit", 0))))
     alpha = fixed_alpha.copy()
     alpha[free_var] = np.clip(res.x, 0.0, 1.0)
     # Renormalize each free simplex block against solver round-off.

@@ -1,0 +1,89 @@
+"""Pretty-printer for run manifests (``python -m repro report <file>``)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["load_manifest", "format_manifest"]
+
+
+def load_manifest(path) -> dict:
+    """Read one manifest JSON document."""
+    return json.loads(Path(path).read_text())
+
+
+def _format_span(node: dict, depth: int, lines: list, total_s: float) -> None:
+    name = str(node.get("name", "?"))
+    count = int(node.get("count", 0))
+    span_s = float(node.get("total_s", 0.0))
+    share = f"{span_s / total_s:>5.0%}" if total_s > 0 else "   --"
+    label = "  " * depth + name
+    lines.append(f"  {label:<44}{count:>8}{span_s:>10.3f}s  {share}")
+    for child in node.get("children", ()):
+        _format_span(child, depth + 1, lines, total_s)
+
+
+def format_manifest(doc: dict, max_counter_rows: Optional[int] = None) -> str:
+    """Human-readable report for one run manifest."""
+    lines = [
+        f"run      {doc.get('run_id', '?')}",
+        f"command  {doc.get('command', '?')}",
+        f"git rev  {doc.get('git_rev', '?')}",
+        f"started  {doc.get('started_at', '?')}  "
+        f"(duration {float(doc.get('duration_s', 0.0)):.2f}s)",
+    ]
+    rss = doc.get("peak_rss_kb")
+    if rss:
+        lines.append(f"peak RSS {int(rss) / 1024:.1f} MiB")
+    config = doc.get("config") or {}
+    if config:
+        lines.append("config   " + json.dumps(config, sort_keys=True))
+    seeds = doc.get("seeds") or {}
+    if seeds:
+        lines.append("seeds    " + json.dumps(seeds, sort_keys=True))
+
+    counters = doc.get("counters") or {}
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        rows = sorted(counters.items())
+        if max_counter_rows is not None:
+            rows = rows[:max_counter_rows]
+        for name, value in rows:
+            lines.append(f"  {name:<44}{value:>14}")
+    gauges = doc.get("gauges") or {}
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<44}{value:>14.4g}")
+
+    spans = doc.get("spans") or {}
+    children = spans.get("children") or []
+    if children:
+        lines.append("")
+        lines.append(f"spans{'':<41}{'count':>8}{'total':>11}  share")
+        total_s = sum(float(c.get("total_s", 0.0)) for c in children)
+        for child in children:
+            _format_span(child, 0, lines, total_s)
+
+    workers = doc.get("workers") or {}
+    if workers:
+        lines.append("")
+        lines.append("per-worker totals")
+        for pid, totals in sorted(workers.items()):
+            summary = ", ".join(
+                f"{name.rsplit('.', 1)[-1]}={value}"
+                for name, value in sorted(totals.items())
+            )
+            lines.append(f"  pid {pid}: {summary}")
+
+    results = doc.get("results") or {}
+    if results:
+        lines.append("")
+        lines.append("results")
+        for name, value in sorted(results.items()):
+            lines.append(f"  {name:<30}{value}")
+    return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Unified allocator API: typed configs, AllocationResult, legacy shims."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALGORITHM_KINDS,
+    CLADO,
+    HAWQ,
+    AllocationResult,
+    InfeasibleBudgetError,
+    SensitivityConfig,
+    SolverConfig,
+    build_algorithm,
+    upq_assignment,
+)
+from repro.core.baselines import MPQCO
+from repro.data import make_dataset
+from repro.models import build_model
+from repro.quant import QuantConfig
+
+CFG = QuantConfig(bits=(2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    ds = make_dataset(num_classes=4, image_size=16)
+    model = build_model("resnet_s20", num_classes=4)
+    model.eval()
+    x, y = ds.sample(24, seed=5)
+    return model, x, y
+
+
+class TestSensitivityConfig:
+    def test_defaults_are_auto_single_worker(self):
+        cfg = SensitivityConfig()
+        assert cfg.strategy == "auto"
+        assert cfg.num_workers == 1
+        assert cfg.checkpoint_path is None
+
+    def test_frozen(self):
+        cfg = SensitivityConfig()
+        with pytest.raises(Exception):
+            cfg.strategy = "naive"
+
+    def test_with_overrides(self):
+        cfg = SensitivityConfig().with_overrides(num_workers=4, strategy="naive")
+        assert cfg.num_workers == 4
+        assert cfg.strategy == "naive"
+        assert cfg.batch_size == SensitivityConfig().batch_size
+
+    def test_with_overrides_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            SensitivityConfig().with_overrides(bogus=1)
+
+    def test_engine_kwargs_subset(self):
+        kwargs = SensitivityConfig(num_workers=3).engine_kwargs()
+        assert kwargs["num_workers"] == 3
+        assert "probes" not in kwargs  # HAWQ-only knob stays out
+
+
+class TestSolverConfig:
+    def test_defaults(self):
+        cfg = SolverConfig()
+        assert cfg.method == "auto"
+        assert cfg.time_limit == 20.0
+
+    def test_from_legacy_kwargs(self):
+        cfg = SolverConfig.from_legacy_kwargs(
+            solver_method="bb", time_limit=3.0, mystery_knob=7
+        )
+        assert cfg.method == "bb"
+        assert cfg.time_limit == 3.0
+        assert cfg.options["mystery_knob"] == 7
+
+    def test_with_overrides(self):
+        cfg = SolverConfig().with_overrides(max_nodes=5)
+        assert cfg.max_nodes == 5
+        assert cfg.method == "auto"
+
+
+class TestBuildAlgorithm:
+    def test_kinds_registry_complete(self):
+        assert set(ALGORITHM_KINDS) == {
+            "clado",
+            "clado_star",
+            "clado_block",
+            "clado_nopsd",
+            "hawq",
+            "mpqco",
+        }
+
+    def test_builds_each_kind(self, small_setup):
+        model, _, _ = small_setup
+        for kind in ALGORITHM_KINDS:
+            algo = build_algorithm(kind, model, "resnet_s20", CFG)
+            assert algo.model is model
+            assert algo.sensitivity_config == SensitivityConfig()
+
+    def test_unknown_kind_raises(self, small_setup):
+        model, _, _ = small_setup
+        with pytest.raises((KeyError, ValueError)):
+            build_algorithm("frobnicate", model, "resnet_s20", CFG)
+
+    def test_sensitivity_config_threaded_through(self, small_setup):
+        model, _, _ = small_setup
+        sens = SensitivityConfig(num_workers=2, strategy="naive")
+        algo = build_algorithm("clado", model, "resnet_s20", CFG, sensitivity=sens)
+        assert algo.sensitivity_config is sens
+
+
+class TestAllocationResult:
+    @pytest.fixture(scope="class")
+    def result(self, small_setup):
+        model, x, y = small_setup
+        algo = build_algorithm(
+            "clado_star",
+            model,
+            "resnet_s20",
+            CFG,
+            sensitivity=SensitivityConfig(strategy="naive"),
+        )
+        algo.prepare(x, y)
+        budget = int(algo.layer_sizes().sum()) * 4
+        return algo, algo.allocate(budget, solver=SolverConfig(time_limit=5.0))
+
+    def test_typed_fields(self, result):
+        _, res = result
+        assert isinstance(res, AllocationResult)
+        assert res.solver_method
+        assert res.solver_status in {"optimal", "incumbent", "heuristic"}
+        assert res.achieved_size_bits <= res.budget_bits
+        assert 0.0 < res.utilization <= 1.0
+        assert res.solve_seconds >= 0.0
+
+    def test_delegation_to_assignment(self, result):
+        _, res = result
+        # Legacy attributes pass through to the wrapped MPQAssignment.
+        assert list(res.bits) == list(res.assignment.bits)
+        assert res.size_bits == res.assignment.size_bits
+        assert res.predicted_loss_increase == res.assignment.predicted_loss_increase
+
+    def test_unknown_attribute_raises(self, result):
+        _, res = result
+        with pytest.raises(AttributeError):
+            res.definitely_not_an_attribute
+
+    def test_no_manifest_without_run(self, result):
+        _, res = result
+        assert res.manifest_path is None
+
+    def test_manifest_linked_inside_run(self, result, tmp_path):
+        from repro import telemetry
+
+        algo, _ = result
+        budget = int(algo.layer_sizes().sum()) * 4
+        with telemetry.start_run("api-test", manifest_dir=tmp_path) as run:
+            res = algo.allocate(budget, solver=SolverConfig(time_limit=5.0))
+            assert res.manifest_path is not None
+        assert str(run.path) == res.manifest_path
+        doc = telemetry.load_manifest(run.path)
+        assert doc["results"]["budget_bits"] == budget
+
+
+class TestLegacyShims:
+    def test_allocate_time_limit_kwarg_warns_but_works(self, small_setup):
+        model, x, y = small_setup
+        algo = build_algorithm("clado_star", model, "resnet_s20", CFG)
+        algo.prepare(x, y)
+        budget = int(algo.layer_sizes().sum()) * 4
+        with pytest.warns(DeprecationWarning):
+            res = algo.allocate(budget, time_limit=5.0)
+        assert isinstance(res, AllocationResult)
+
+    def test_hawq_probes_ctor_kwarg_warns(self, small_setup):
+        model, _, _ = small_setup
+        with pytest.warns(DeprecationWarning):
+            algo = HAWQ(model, "resnet_s20", CFG, probes=2)
+        assert algo.sensitivity_config.probes == 2
+        assert algo.probes == 2
+
+    def test_prepare_unknown_kwarg_rejected(self, small_setup):
+        model, x, y = small_setup
+        algo = build_algorithm("clado_star", model, "resnet_s20", CFG)
+        with pytest.raises(TypeError):
+            algo.prepare(x, y, utterly_unknown=True)
+
+
+class TestInfeasibleBudget:
+    def test_allocate_raises_typed_error(self, small_setup):
+        model, x, y = small_setup
+        algo = build_algorithm("clado_star", model, "resnet_s20", CFG)
+        algo.prepare(x, y)
+        with pytest.raises(InfeasibleBudgetError) as excinfo:
+            algo.allocate(1)
+        err = excinfo.value
+        assert isinstance(err, ValueError)  # old except-clauses still catch it
+        assert err.budget_bits == 1
+        assert err.min_size_bits is not None and err.min_size_bits > 1
+
+    def test_upq_assignment_raises(self):
+        sizes = np.array([10, 10])
+        with pytest.raises(InfeasibleBudgetError):
+            upq_assignment(sizes, (2, 4, 8), budget_bits=1)
+
+    def test_mpqco_inherits_typed_error(self, small_setup):
+        model, x, y = small_setup
+        algo = MPQCO(model, "resnet_s20", CFG)
+        algo.prepare(x, y)
+        with pytest.raises(InfeasibleBudgetError):
+            algo.allocate(1)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import CLADO, HAWQ, MPQCO, upq_assignment
+from repro.core import CLADO, HAWQ, MPQCO, AllocationResult, upq_assignment
 from repro.core.clado import MPQAssignment
 from repro.data import make_dataset
 from repro.models import build_model
@@ -30,7 +30,9 @@ class TestCLADOPipeline:
         sizes = clado.layer_sizes()
         budget = int(sizes.sum()) * 4
         assignment = clado.allocate(budget, time_limit=10)
-        assert isinstance(assignment, MPQAssignment)
+        assert isinstance(assignment, AllocationResult)
+        assert isinstance(assignment.assignment, MPQAssignment)
+        assert assignment.solver_status in {"optimal", "incumbent"}
         assert len(assignment.bits) == len(sizes)
         assert assignment.size_bits <= budget
         assert set(assignment.bits) <= set(CFG.bits)
