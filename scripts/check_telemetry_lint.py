@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST lint: enforce the telemetry conventions inside ``src/repro/``.
 
-Two rules (see docs/observability.md):
+Three rules (see docs/observability.md):
 
 1. No ``time.time()`` — wall-clock arithmetic must use
    ``telemetry.monotonic()`` (an alias of ``time.perf_counter``) so spans
@@ -11,6 +11,12 @@ Two rules (see docs/observability.md):
    ``telemetry.emit()``, the single sanctioned stdout sink, so library
    code stays silent by default and the CLI remains the only chatty
    layer.
+3. No per-iteration GEMMs in functions marked ``@hot_path``
+   (``repro.core.sweep.hot_path``) — inside their ``for``/``while``
+   bodies, ``@`` (matmul), ``np.matmul``, ``np.einsum``, ``np.dot`` and
+   ``np.tensordot`` are rejected.  Hot sweep functions must hand whole
+   candidate stacks to the batched kernels in ``repro.nn.functional``
+   instead of looping tiny GEMMs in Python.
 
 Exit status 0 when clean, 1 with a ``path:line: message`` listing per
 violation.  Run via ``make lint`` (part of the default ``make`` target).
@@ -28,9 +34,50 @@ TARGET = ROOT / "src" / "repro"
 # telemetry/__init__.py defines emit() itself and may touch stdout.
 ALLOWED_STDOUT = {TARGET / "telemetry" / "__init__.py"}
 
+#: GEMM entry points that must not sit inside a loop in a hot function.
+GEMM_NAMES = {"matmul", "einsum", "dot", "tensordot"}
+
+
+def _is_hot_path(func: ast.AST) -> bool:
+    """True when ``func`` carries the ``@hot_path`` marker decorator."""
+    for dec in getattr(func, "decorator_list", []):
+        if isinstance(dec, ast.Name) and dec.id == "hot_path":
+            return True
+        if isinstance(dec, ast.Attribute) and dec.attr == "hot_path":
+            return True
+    return False
+
+
+def _gemms_in_loops(func: ast.AST):
+    """Yield (lineno, op) for GEMM calls inside for/while bodies of ``func``."""
+    for loop in ast.walk(func):
+        if not isinstance(loop, (ast.For, ast.While)):
+            continue
+        for node in ast.walk(loop):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.MatMult):
+                yield node.lineno, "the @ matmul operator"
+            elif isinstance(node, ast.Call):
+                fn = node.func
+                name = None
+                if isinstance(fn, ast.Attribute) and fn.attr in GEMM_NAMES:
+                    name = fn.attr
+                elif isinstance(fn, ast.Name) and fn.id in GEMM_NAMES:
+                    name = fn.id
+                if name is not None:
+                    yield node.lineno, f"{name}()"
+
 
 def _violations(path: Path, tree: ast.AST):
     for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_hot_path(
+            node
+        ):
+            for lineno, op in _gemms_in_loops(node):
+                yield (
+                    lineno,
+                    f"{op} inside a loop in @hot_path {node.name}(); "
+                    "stack candidates and call the batched kernels instead",
+                )
         if not isinstance(node, ast.Call):
             continue
         fn = node.func

@@ -73,6 +73,7 @@ def _allocate_body(args, run) -> int:
         strategy="naive" if args.naive_sweep else "auto",
         num_workers=args.workers,
         checkpoint_path=args.sweep_checkpoint,
+        eval_batch_k=args.eval_batch_k,
     )
     ctx = ExperimentContext()
     algo = ctx.make_algorithm(
@@ -92,6 +93,13 @@ def _allocate_body(args, run) -> int:
             f"{e['resumed_evals']}/{e['plan_evals']} evals resumed, "
             f"{float(e['segment_work_saved']):.0%} layer-work saved"
         )
+        if e.get("batched_chunks"):
+            emit(
+                f"  config-batched evals: {e['batched_evals']} in "
+                f"{e['batched_chunks']} stacked replays "
+                f"(width mean {float(e['batch_width_mean']):.1f}, "
+                f"max {e['batch_width_max']}, cap {e['eval_batch_k']})"
+            )
 
     sizes = algo.layer_sizes()
     budget = int(sizes.sum() * args.avg_bits)
@@ -326,6 +334,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--naive-sweep",
         action="store_true",
         help="disable prefix-cached segmented replay (full forward per eval)",
+    )
+    p.add_argument(
+        "--eval-batch-k",
+        type=int,
+        default=0,
+        help="candidate configs stacked per sweep replay "
+        "(0 = memory-aware auto, 1 = sequential)",
     )
     p.add_argument(
         "--trace",

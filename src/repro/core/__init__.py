@@ -13,18 +13,27 @@ from .baselines import HAWQ, MPQCO, upq_assignment
 from .clado import CLADO, MPQAlgorithm, MPQAssignment
 from .evaluate import (
     evaluate_assignment,
+    evaluate_assignments,
     remove_activation_quant,
     setup_activation_quant,
 )
 from .psd import min_eigenvalue, psd_project, psd_violation
 from .qat import QATConfig, qat_finetune
-from .sensitivity import SensitivityEngine, SensitivityResult, block_id_from_name
+from .sensitivity import (
+    SensitivityEngine,
+    SensitivityResult,
+    auto_eval_batch_k,
+    auto_waste_factor,
+    block_id_from_name,
+)
 from .sweep import (
+    BatchChunk,
     EvalPlan,
     EvalSpec,
     GroupPlan,
     PrefixCache,
     SweepCheckpoint,
+    build_batch_chunks,
     build_eval_plan,
     select_cuts,
 )
@@ -45,18 +54,23 @@ __all__ = [
     "upq_assignment",
     "SensitivityEngine",
     "SensitivityResult",
+    "auto_eval_batch_k",
+    "auto_waste_factor",
     "block_id_from_name",
+    "BatchChunk",
     "EvalPlan",
     "EvalSpec",
     "GroupPlan",
     "PrefixCache",
     "SweepCheckpoint",
+    "build_batch_chunks",
     "build_eval_plan",
     "select_cuts",
     "psd_project",
     "min_eigenvalue",
     "psd_violation",
     "evaluate_assignment",
+    "evaluate_assignments",
     "setup_activation_quant",
     "remove_activation_quant",
     "QATConfig",

@@ -64,6 +64,7 @@ class SensitivityConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 32
     symmetric_diag: bool = False
+    eval_batch_k: int = 0  # candidate configs per stacked replay; 0 = auto
     # HAWQ (Hutchinson trace estimation)
     probes: int = 8
     seed: int = 0
@@ -78,6 +79,7 @@ class SensitivityConfig:
             "checkpoint_path": self.checkpoint_path,
             "checkpoint_every": self.checkpoint_every,
             "symmetric_diag": self.symmetric_diag,
+            "eval_batch_k": self.eval_batch_k,
         }
 
     def with_overrides(self, **overrides) -> "SensitivityConfig":

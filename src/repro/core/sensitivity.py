@@ -48,22 +48,73 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .. import telemetry
-from ..nn import CrossEntropyLoss
+from ..nn import (
+    BatchedWeightOverlay,
+    CrossEntropyLoss,
+    fold_candidates,
+    folded_cross_entropy,
+)
 from ..quant import QuantizedWeightTable
-from .sweep import EvalPlan, PrefixCache, SweepCheckpoint, build_eval_plan, select_cuts
+from .sweep import (
+    BatchChunk,
+    EvalPlan,
+    GroupPlan,
+    PrefixCache,
+    SweepCheckpoint,
+    build_batch_chunks,
+    build_eval_plan,
+    hot_path,
+    select_cuts,
+)
 
-__all__ = ["SensitivityResult", "SensitivityEngine", "block_id_from_name"]
+__all__ = [
+    "SensitivityResult",
+    "SensitivityEngine",
+    "block_id_from_name",
+    "auto_eval_batch_k",
+    "auto_waste_factor",
+]
 
 #: Default number of activation checkpoints each prefix cache may hold.
 DEFAULT_CACHE_BUDGET = 16
+
+#: Soft memory budget for the auto ``eval_batch_k`` choice: the folded
+#: activation batch is ``K`` replicas of one mini-batch, and intermediate
+#: activations can outgrow the input by a wide margin, so the auto default
+#: bounds ``K * batch_size * sample_bytes * ACT_EXPANSION`` by this budget.
+_BATCH_MEMORY_BUDGET = 128 * 1024 * 1024
+_ACT_EXPANSION = 8
+_MAX_AUTO_BATCH_K = 32
+_MAX_AUTO_BATCH_K_TINY = 128
+
+#: Folded mini-batch volume (floats) separating the two batching regimes.
+#: Below it each segment forward is a tiny GEMM whose cost is Python and
+#: BLAS *dispatch*, so chunks may trade redundant flops for width
+#: (:data:`_WASTE_FACTOR_DISPATCH`); above it the flops themselves are the
+#: cost and chunks only coalesce cuts at zero waste
+#: (:data:`_WASTE_FACTOR_COMPUTE` — pair specs sharing a partner layer
+#: still stack for free, because they replay the identical suffix).
+_DISPATCH_BOUND_FLOATS = 4096
+_WASTE_FACTOR_DISPATCH = 2.0
+_WASTE_FACTOR_COMPUTE = 1.0
 
 #: Loss evaluations actually executed (naive: full forwards; segmented:
 #: replayed evaluations — resumed-from-checkpoint losses do not count).
 _FORWARD_EVALS = telemetry.counter("sensitivity.forward_evals")
 #: Individual segment forwards the segmented engine paid (prefix + replays).
+#: A stacked (config-batched) segment forward counts once: it is one
+#: dispatch, however many candidates ride in it.
 _SEGMENT_FORWARDS = telemetry.counter("sensitivity.segment_forwards")
 #: Evaluations restored from a resume checkpoint instead of re-running.
 _RESUMED_EVALS = telemetry.counter("sensitivity.resumed_evals")
+#: Evaluations executed through stacked (config-batched) replays.
+_BATCHED_EVALS = telemetry.counter("sweep.batched_evals")
+#: Stacked replays executed (each carries >= 1 candidate configs).
+_BATCHED_CHUNKS = telemetry.counter("sweep.batched_chunks")
+#: Widest candidate stack seen in one replay.
+_BATCH_WIDTH_MAX = telemetry.gauge("sweep.batch_width_max")
+#: Mean realized candidate-stack width of the last sweep.
+_BATCH_WIDTH_MEAN = telemetry.gauge("sweep.batch_width_mean")
 
 
 @dataclass
@@ -98,6 +149,47 @@ class SensitivityResult:
         return self.matrix[i * nb : (i + 1) * nb, j * nb : (j + 1) * nb].copy()
 
 
+def auto_eval_batch_k(x: np.ndarray, batch_size: int) -> int:
+    """Memory-aware default candidate-stack width.
+
+    Bounds the folded-activation footprint ``K * batch_size * sample_bytes``
+    (inflated by :data:`_ACT_EXPANSION` for intermediate activations) by
+    :data:`_BATCH_MEMORY_BUDGET`.  Dispatch-bound workloads (see
+    :func:`auto_waste_factor`) may stack up to
+    :data:`_MAX_AUTO_BATCH_K_TINY` candidates — their per-segment arrays
+    are so small that width is pure dispatch savings; everything else is
+    clamped to :data:`_MAX_AUTO_BATCH_K`.
+    """
+    sample_bytes = max(1, int(x[0].nbytes)) if len(x) else 1
+    rows = min(batch_size, max(1, len(x)))
+    per_candidate = rows * sample_bytes
+    auto = _BATCH_MEMORY_BUDGET // max(1, per_candidate * _ACT_EXPANSION)
+    sample_floats = max(1, int(x[0].size)) if len(x) else 1
+    cap = (
+        _MAX_AUTO_BATCH_K_TINY
+        if rows * sample_floats <= _DISPATCH_BOUND_FLOATS
+        else _MAX_AUTO_BATCH_K
+    )
+    return int(min(cap, max(1, auto)))
+
+
+def auto_waste_factor(x: np.ndarray, batch_size: int) -> float:
+    """Chunk-coalescing waste bound matched to the workload regime.
+
+    Tiny folded batches (``rows * floats-per-sample`` at or below
+    :data:`_DISPATCH_BOUND_FLOATS`) are dispatch-bound — redundant flops
+    are nearly free next to per-call overhead, so cuts coalesce
+    aggressively.  Larger batches are compute-bound and only zero-waste
+    merges (same-cut specs, e.g. the ``|B|`` bit choices of one partner
+    layer) pay off.
+    """
+    sample_floats = max(1, int(x[0].size)) if len(x) else 1
+    rows = min(batch_size, max(1, len(x)))
+    if rows * sample_floats <= _DISPATCH_BOUND_FLOATS:
+        return _WASTE_FACTOR_DISPATCH
+    return _WASTE_FACTOR_COMPUTE
+
+
 def block_id_from_name(name: str) -> str:
     """Group layers into residual blocks by their dotted module path.
 
@@ -126,8 +218,17 @@ def _run_group_worker(group_idx: int):
     # The forked child inherited the parent's collector; capture only what
     # this task records and ship the delta home with the results.
     with telemetry.fork_capture() as capture:
-        result = engine._run_group(plan, group_idx, clean, batches, n)
+        result = engine._execute_group(plan, group_idx, clean, batches, n)
     return group_idx, result, os.getpid(), capture.delta
+
+
+def _merge_chunk_stats(agg: Dict[str, int], stats: Optional[Dict[str, int]]) -> None:
+    if not stats:
+        return
+    agg["evals"] += stats["evals"]
+    agg["chunks"] += stats["chunks"]
+    agg["width_max"] = max(agg["width_max"], stats["width_max"])
+    agg["extra_flops"] += stats["extra_flops"]
 
 
 class SensitivityEngine:
@@ -147,6 +248,13 @@ class SensitivityEngine:
         Maximum activation checkpoints per prefix cache (memory bound);
         evaluations starting past an evicted cut recompute from the
         nearest earlier checkpoint.
+    eval_batch_k:
+        Candidate configurations stacked per segment replay on the
+        segmented path.  ``1`` runs every evaluation as its own replay
+        (the sequential engine); ``> 1`` caps the stack width; ``0``
+        (default) picks a memory-aware width from the mini-batch
+        footprint.  Measured matrices are equal across all settings
+        within the sweep-equivalence tolerance.
     """
 
     def __init__(
@@ -160,9 +268,12 @@ class SensitivityEngine:
         cache_budget: Optional[int] = DEFAULT_CACHE_BUDGET,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 32,
+        eval_batch_k: int = 0,
     ) -> None:
         if strategy not in ("auto", "naive", "segmented"):
             raise ValueError(f"unknown strategy {strategy!r}")
+        if eval_batch_k < 0:
+            raise ValueError(f"eval_batch_k must be >= 0, got {eval_batch_k}")
         self.model = model
         self.table = table
         self.criterion = criterion or CrossEntropyLoss()
@@ -171,9 +282,12 @@ class SensitivityEngine:
         self.cache_budget = cache_budget
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.eval_batch_k = eval_batch_k
         self._segments: Optional[list] = None
         self._layer_segments: Optional[Tuple[int, ...]] = None
         self._active_cache_budget: Optional[int] = cache_budget
+        self._active_eval_batch_k: int = 1
+        self._active_waste_factor: float = _WASTE_FACTOR_DISPATCH
 
     # -- loss of the current weight configuration ------------------------------
     def _loss(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> float:
@@ -243,6 +357,17 @@ class SensitivityEngine:
             workers = 1  # no COW sharing available (e.g. Windows): run serial
         return max(1, workers)
 
+    def _resolve_eval_batch_k(
+        self, eval_batch_k: Optional[int], x: np.ndarray, batch_size: int
+    ) -> int:
+        """Resolve the candidate-stack width (0 = memory-aware auto)."""
+        k = self.eval_batch_k if eval_batch_k is None else eval_batch_k
+        if k < 0:
+            raise ValueError(f"eval_batch_k must be >= 0, got {k}")
+        if k:
+            return k
+        return auto_eval_batch_k(x, batch_size)
+
     # -- public API -------------------------------------------------------------
     def measure(
         self,
@@ -258,6 +383,7 @@ class SensitivityEngine:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         cache_budget: Optional[int] = None,
+        eval_batch_k: Optional[int] = None,
     ) -> SensitivityResult:
         """Measure the sensitivity matrix on the set ``(x, y)``.
 
@@ -280,7 +406,7 @@ class SensitivityEngine:
             cost of ``|B|I`` extra loss evaluations.  Cross terms (Eq. 13)
             already cancel the first order and are unchanged.
         strategy / num_workers / cache_budget / checkpoint_path /
-        checkpoint_every:
+        checkpoint_every / eval_batch_k:
             Per-call overrides of the engine-level execution knobs (see
             the class docstring).  ``checkpoint_path`` enables periodic
             persistence of partial losses; re-measuring with the same
@@ -325,6 +451,7 @@ class SensitivityEngine:
             checkpoint_every=(
                 self.checkpoint_every if checkpoint_every is None else checkpoint_every
             ),
+            eval_batch_k=self._resolve_eval_batch_k(eval_batch_k, x, batch_size),
         )
 
     # -- naive strategy: one full forward per evaluation -----------------------
@@ -414,6 +541,7 @@ class SensitivityEngine:
         cache_budget: Optional[int],
         checkpoint_path: Optional[str],
         checkpoint_every: int,
+        eval_batch_k: int,
     ) -> SensitivityResult:
         t0 = telemetry.monotonic()
         bits = self.table.config.bits
@@ -425,6 +553,8 @@ class SensitivityEngine:
         nseg = len(segments)
 
         self._active_cache_budget = cache_budget
+        self._active_eval_batch_k = eval_batch_k
+        self._active_waste_factor = auto_waste_factor(x, batch_size)
         with telemetry.span("sweep.plan"):
             plan = build_eval_plan(
                 num_layers, bits, pair_list, layer_segments, nseg, symmetric_diag,
@@ -493,6 +623,7 @@ class SensitivityEngine:
         tick(resumed)
 
         segment_work = 0
+        chunk_stats = {"evals": 0, "chunks": 0, "width_max": 0, "extra_flops": 0}
         workers = min(num_workers, max(1, len(pending)))
         t_eval_start = telemetry.monotonic()
         try:
@@ -500,12 +631,15 @@ class SensitivityEngine:
                 if workers > 1:
                     segment_work += self._run_groups_parallel(
                         plan, pending, clean, batches, n, workers,
-                        losses, checkpoint, tick,
+                        losses, checkpoint, tick, chunk_stats,
                     )
                 else:
                     for gi in pending:
-                        results, work = self._run_group(plan, gi, clean, batches, n)
+                        results, work, stats = self._execute_group(
+                            plan, gi, clean, batches, n
+                        )
                         segment_work += work
+                        _merge_chunk_stats(chunk_stats, stats)
                         for index, loss in results:
                             losses[index] = loss
                             if checkpoint is not None:
@@ -541,6 +675,12 @@ class SensitivityEngine:
         prefix_work = nseg * num_batches
         naive_work = total_evals * nseg * num_batches
         executed = plan.num_evals - resumed
+        batch_width_mean = (
+            chunk_stats["evals"] / chunk_stats["chunks"]
+            if chunk_stats["chunks"]
+            else 0.0
+        )
+        _BATCH_WIDTH_MEAN.set(batch_width_mean)
         extras: Dict[str, object] = {
             "strategy": "segmented",
             "workers": workers,
@@ -551,8 +691,16 @@ class SensitivityEngine:
             "executed_evals": executed,
             "prefix_cuts_cached": clean.num_checkpoints,
             "cache_budget": -1 if cache_budget is None else cache_budget,
+            "eval_batch_k": eval_batch_k,
+            "batched_evals": chunk_stats["evals"],
+            "batched_chunks": chunk_stats["chunks"],
+            "batch_width_max": chunk_stats["width_max"],
+            "batch_width_mean": batch_width_mean,
             "segment_forwards": prefix_work + segment_work,
             "segment_forwards_naive": naive_work,
+            "segment_flop_units": prefix_work
+            + segment_work
+            + chunk_stats["extra_flops"],
             "segment_work_saved": 1.0
             - (prefix_work + segment_work) / max(1, naive_work),
             "time_plan": t_plan,
@@ -593,6 +741,7 @@ class SensitivityEngine:
         losses: Dict[int, float],
         checkpoint: Optional[SweepCheckpoint],
         tick: Callable[[int], None],
+        chunk_stats: Dict[str, int],
     ) -> int:
         """Fan groups out across fork-based workers; collect by plan index."""
         global _FORK_STATE
@@ -602,11 +751,12 @@ class SensitivityEngine:
         try:
             with ctx.Pool(processes=workers) as pool:
                 chunksize = max(1, len(pending) // (workers * 4))
-                for _, (results, work), pid, delta in pool.imap_unordered(
+                for _, (results, work, stats), pid, delta in pool.imap_unordered(
                     _run_group_worker, pending, chunksize=chunksize
                 ):
                     telemetry.merge_delta(delta, worker=pid)
                     segment_work += work
+                    _merge_chunk_stats(chunk_stats, stats)
                     for index, loss in results:
                         losses[index] = loss
                         if checkpoint is not None:
@@ -705,3 +855,171 @@ class SensitivityEngine:
         work += group_cache.recomputed_segments
         _SEGMENT_FORWARDS.add(work)
         return out, work
+
+    def _execute_group(
+        self,
+        plan: EvalPlan,
+        group_idx: int,
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+    ) -> Tuple[List[Tuple[int, float]], int, Optional[Dict[str, int]]]:
+        """Route one group to the config-batched or sequential executor."""
+        if self._active_eval_batch_k > 1 and plan.groups[group_idx].pairs:
+            return self._run_group_batched(plan, group_idx, clean, batches, n)
+        out, work = self._run_group(plan, group_idx, clean, batches, n)
+        return out, work, None
+
+    @hot_path
+    def _run_group_batched(
+        self,
+        plan: EvalPlan,
+        group_idx: int,
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+    ) -> Tuple[List[Tuple[int, float]], int, Dict[str, int]]:
+        """Config-batched variant of :meth:`_run_group`.
+
+        The diagonal replay is unchanged (it is a single evaluation and it
+        builds the perturbed-suffix cache every chunk reads from); the pair
+        evaluations are coalesced into waste-bounded :class:`BatchChunk`s
+        and each chunk replays its suffix **once** with all member
+        configurations stacked on the candidate axis.  Losses land under
+        the same plan indices, so reassembly, checkpointing, and resume are
+        oblivious to the batching.
+        """
+        g = plan.groups[group_idx]
+        bits = plan.bits
+        segments = self._segments
+        nseg = plan.num_segments
+        out: List[Tuple[int, float]] = []
+        work = 0
+        clean_work0 = clean.recomputed_segments
+        stats = {"evals": 0, "chunks": 0, "width_max": 0, "extra_flops": 0}
+
+        chunks = build_batch_chunks(
+            g.pairs,
+            nseg,
+            self._active_eval_batch_k,
+            waste_factor=self._active_waste_factor,
+        )
+        group_freq = Counter(c.cut for c in chunks if c.cut > g.segment)
+        group_cache = PrefixCache(
+            segments, select_cuts(group_freq, self._active_cache_budget) | {g.segment}
+        )
+
+        with telemetry.span("sweep.group", i=g.i), self.table.perturbed(
+            (g.i, bits[g.m])
+        ):
+            # Diagonal evaluation + perturbed-suffix checkpointing.
+            with telemetry.span("sweep.diag", i=g.i):
+                total = 0.0
+                for b, (xb, yb) in enumerate(batches):
+                    a = clean.activation(b, g.segment)
+                    for k in range(g.segment, nseg):
+                        group_cache.put(b, k, a)
+                        a = segments[k].forward(a)
+                        work += 1
+                    total += self.criterion.forward(a, yb) * len(xb)
+                out.append((g.diag.index, self._check_finite(total / n)))
+            _FORWARD_EVALS.add()
+
+            for chunk in chunks:
+                with telemetry.span(
+                    "sweep.chunk", i=g.i, width=chunk.width
+                ):
+                    results, replayed = self._run_chunk(
+                        chunk, g, bits, clean, group_cache, batches, n
+                    )
+                work += replayed
+                out.extend(results)
+                stats["evals"] += chunk.width
+                stats["chunks"] += 1
+                stats["width_max"] = max(stats["width_max"], chunk.width)
+                stats["extra_flops"] += (
+                    (chunk.width - 1) * (nseg - chunk.cut) * len(batches)
+                )
+
+        if g.mirror is not None:
+            with telemetry.span("sweep.mirror", i=g.i), self.table.mirrored(
+                g.i, bits[g.m]
+            ):
+                total = 0.0
+                for b, (xb, yb) in enumerate(batches):
+                    a = clean.activation(b, g.segment)
+                    a, replayed = self._replay(g.segment, a)
+                    work += replayed
+                    total += self.criterion.forward(a, yb) * len(xb)
+                out.append((g.mirror.index, self._check_finite(total / n)))
+            _FORWARD_EVALS.add()
+
+        work += clean.recomputed_segments - clean_work0
+        work += group_cache.recomputed_segments
+        _SEGMENT_FORWARDS.add(work)
+        return out, work, stats
+
+    @hot_path
+    def _run_chunk(
+        self,
+        chunk: BatchChunk,
+        g: GroupPlan,
+        bits: Tuple[int, ...],
+        clean: PrefixCache,
+        group_cache: PrefixCache,
+        batches: list,
+        n: int,
+    ) -> Tuple[List[Tuple[int, float]], int]:
+        """One stacked suffix replay evaluating every spec in ``chunk``.
+
+        Runs inside the group's anchor context (``(i, b_m)`` applied
+        globally).  Candidate ``k`` overlays its partner layer ``j_k`` with
+        ``Q(w, b_{n_k})``; every other overlaid layer shows candidate ``k``
+        its current in-context weight, so each candidate row computes
+        exactly the sequential pair evaluation it replaces.  When the chunk
+        cut sits before the anchor's segment the replay starts from the
+        clean cache and re-applies the anchor on the way (same invariant
+        as the sequential partner-before-anchor path).
+        """
+        segments = self._segments
+        nseg = len(segments)
+        width = chunk.width
+        cut = chunk.cut
+        # Fetch activation sources before overlays go on: a cache miss
+        # recomputes with plain forwards, which must not see folded batches.
+        source = group_cache if cut >= g.segment else clean
+        acts = [source.activation(b, cut) for b in range(len(batches))]
+        # Sparse overlays: at each partner layer, every candidate but the
+        # spec's own row sees the current in-context weight, so the layer
+        # runs one tall base GEMM plus a per-row slice fixup instead of
+        # `width` sliced GEMMs.
+        rows_by_layer: Dict[int, Dict[int, np.ndarray]] = {}
+        for k, spec in enumerate(chunk.specs):
+            rows_by_layer.setdefault(spec.j, {})[k] = self.table.quantized(
+                spec.j, bits[spec.n]
+            )
+        overrides = {
+            j: BatchedWeightOverlay(width, self.table.layers[j].weight.data, rows)
+            for j, rows in rows_by_layer.items()
+        }
+        totals = [0.0] * width
+        with self.table.batched(overrides):
+            for b, (xb, yb) in enumerate(batches):
+                a = fold_candidates(acts[b], width)
+                for s in range(cut, nseg):
+                    a = segments[s].forward(a)
+                # Row-wise folded loss: entry k bitwise equals a solo
+                # criterion.forward on candidate k's logit slice.
+                losses = folded_cross_entropy(a, yb, width)
+                for k in range(width):
+                    totals[k] += losses[k] * len(xb)
+        _FORWARD_EVALS.add(width)
+        _BATCHED_EVALS.add(width)
+        _BATCHED_CHUNKS.add()
+        _BATCH_WIDTH_MAX.record_max(width)
+        results = [
+            (spec.index, self._check_finite(totals[k] / n))
+            for k, spec in enumerate(chunk.specs)
+        ]
+        # One stacked dispatch per (segment, batch), whatever the width.
+        return results, (nseg - cut) * len(batches)

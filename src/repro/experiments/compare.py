@@ -151,12 +151,14 @@ def uniform_reference(
     x_sens, _ = ctx.sensitivity_data()
     ctx.attach_activation_quant(model_name, algo.layers, x_sens, config)
     sizes = algo.layer_sizes()
-    out: Dict[int, Tuple[float, float]] = {}
     x_val, y_val = ctx.val_data
-    from ..core import evaluate_assignment
+    from ..core import evaluate_assignments
 
-    for b in config.bits:
-        bits = upq_assignment(sizes, config.bits, int(sizes.sum()) * b)
-        _, acc = evaluate_assignment(algo.model, algo.table, bits, x_val, y_val)
+    assignments = [
+        upq_assignment(sizes, config.bits, int(sizes.sum()) * b) for b in config.bits
+    ]
+    scored = evaluate_assignments(algo.model, algo.table, assignments, x_val, y_val)
+    out: Dict[int, Tuple[float, float]] = {}
+    for b, (_, acc) in zip(config.bits, scored):
         out[int(b)] = (bytes_to_mb(int(sizes.sum()) * b / 8.0), 100.0 * acc)
     return out

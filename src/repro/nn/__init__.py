@@ -37,14 +37,18 @@ from .layers import (
     Sigmoid,
     SiLU,
 )
-from .loss import CrossEntropyLoss, accuracy
-from .module import Module, Parameter, Sequential
+from .functional import BatchedWeightOverlay
+from .loss import CrossEntropyLoss, accuracy, folded_accuracy, folded_cross_entropy
+from .module import Module, Parameter, Sequential, fold_candidates, unfold_candidates
 from .optim import Adam, SGD, cosine_lr
 
 __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "fold_candidates",
+    "unfold_candidates",
+    "BatchedWeightOverlay",
     "Conv2d",
     "Linear",
     "BatchNorm2d",
@@ -74,6 +78,8 @@ __all__ = [
     "MultiHeadSelfAttention",
     "CrossEntropyLoss",
     "accuracy",
+    "folded_accuracy",
+    "folded_cross_entropy",
     "SGD",
     "Adam",
     "cosine_lr",

@@ -17,6 +17,11 @@ __all__ = [
     "col2im",
     "conv2d_forward",
     "conv2d_backward",
+    "linear_forward_batched",
+    "conv2d_forward_batched",
+    "BatchedWeightOverlay",
+    "linear_forward_overlay",
+    "conv2d_forward_overlay",
     "softmax",
     "log_softmax",
 ]
@@ -155,6 +160,169 @@ def conv2d_backward(
     dcols = dcols_g.reshape(n, c_in, kh, kw, oh, ow)
     dx = col2im(dcols, x_shape, stride, pad)
     return dx, dw, dbias
+
+
+def linear_forward_batched(
+    x: np.ndarray, weights: np.ndarray, bias: np.ndarray
+) -> np.ndarray:
+    """Affine map under ``K`` stacked weight candidates.
+
+    ``x`` carries the candidate axis *folded* candidate-major into the batch
+    dimension — shape ``(K*N, ..., in_features)`` — and ``weights`` has shape
+    ``(K, out_features, in_features)``.  Candidate ``k`` sees samples
+    ``x[k*N:(k+1)*N]``.  The whole evaluation is one stacked matmul: numpy
+    dispatches it as ``K*N`` independent BLAS GEMMs over the trailing two
+    axes, so each candidate's slice is bitwise identical to the sequential
+    ``x @ weights[k].T`` it replaces.
+    """
+    k = weights.shape[0]
+    kn = x.shape[0]
+    if kn % k:
+        raise ValueError(
+            f"folded batch {kn} not divisible by candidate count {k}"
+        )
+    n = kn // k
+    xk = x.reshape(k, n, *x.shape[1:])
+    # (K, out, in) -> (K, 1..., in, out) broadcasting over the middle dims.
+    w_t = weights.swapaxes(-1, -2)
+    w_t = w_t.reshape(k, *([1] * (xk.ndim - 3)), *w_t.shape[1:])
+    out = np.matmul(xk, w_t)
+    if bias is not None:
+        out += bias
+    return out.reshape(kn, *out.shape[2:])
+
+
+def conv2d_forward_batched(
+    x: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+    stride: int,
+    pad: int,
+    groups: int,
+) -> np.ndarray:
+    """Grouped convolution under ``K`` stacked weight candidates.
+
+    ``x`` is folded candidate-major, shape ``(K*N, C_in, H, W)``; ``weights``
+    has shape ``(K, C_out, C_in // groups, kh, kw)``.  Patches are gathered
+    once for all candidates (im2col is per-sample), then a single stacked
+    matmul evaluates every ``(candidate, sample, group)`` GEMM — each
+    bitwise identical to the sequential :func:`conv2d_forward` slice.
+    """
+    k, c_out, c_in_g, kh, kw = weights.shape
+    kn, c_in, _, _ = x.shape
+    if kn % k:
+        raise ValueError(
+            f"folded batch {kn} not divisible by candidate count {k}"
+        )
+    if c_in != c_in_g * groups:
+        raise ValueError(
+            f"input channels {c_in} incompatible with weights "
+            f"{weights.shape} and groups={groups}"
+        )
+    n = kn // k
+    cols, (oh, ow) = im2col(x, kh, kw, stride, pad)
+    cols_g = cols.reshape(k, n, groups, c_in_g * kh * kw, oh * ow)
+    w_g = weights.reshape(k, 1, groups, c_out // groups, c_in_g * kh * kw)
+    # (K,1,G,O,P) @ (K,N,G,P,L) -> (K,N,G,O,L); BLAS per (k,n,g) slice.
+    out = np.matmul(w_g, cols_g).reshape(kn, c_out, oh, ow)
+    if bias is not None:
+        out += bias.reshape(1, c_out, 1, 1)
+    return out
+
+
+class BatchedWeightOverlay:
+    """Sparse candidate-axis weight stack: ``base`` everywhere but ``rows``.
+
+    Semantically equivalent to the dense ``(width, *base.shape)`` stack
+    built by ``materialize()``, but the overlay kernels exploit the
+    structure: one full-width forward with ``base`` (a single tall GEMM)
+    plus a small per-slice fixup for each candidate in ``rows`` (candidate
+    index → full weight array).  The sweep's chunks are exactly this shape
+    — each candidate perturbs one layer, so at any given layer all but a
+    few candidate rows equal the in-context weight — and the tall GEMM is
+    far cheaper than ``width`` sliced GEMMs when the slices are tiny.
+    """
+
+    __slots__ = ("width", "base", "rows")
+
+    def __init__(self, width: int, base: np.ndarray, rows: dict) -> None:
+        base = np.asarray(base)
+        if width < 1:
+            raise ValueError(f"width must be >= 1, got {width}")
+        for k, w in rows.items():
+            if not 0 <= k < width:
+                raise ValueError(f"row index {k} out of range for width {width}")
+            if np.shape(w) != base.shape:
+                raise ValueError(
+                    f"row {k} shape {np.shape(w)} != base shape {base.shape}"
+                )
+        self.width = int(width)
+        self.base = base
+        self.rows = dict(rows)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return (self.width, *self.base.shape)
+
+    def materialize(self) -> np.ndarray:
+        """Dense ``(width, *base.shape)`` stack with the rows applied."""
+        stack = np.repeat(self.base[None], self.width, axis=0)
+        for k, w in self.rows.items():
+            stack[k] = w
+        return stack
+
+
+def _fold_slices(kn: int, width: int) -> int:
+    if kn % width:
+        raise ValueError(
+            f"folded batch {kn} not divisible by candidate count {width}"
+        )
+    return kn // width
+
+
+def linear_forward_overlay(
+    x: np.ndarray, overlay: BatchedWeightOverlay, bias: np.ndarray
+) -> np.ndarray:
+    """Affine map under a sparse candidate-weight overlay.
+
+    ``x`` is folded candidate-major (``(K*N, ..., in_features)``).  The
+    base weight runs over the whole folded batch in one GEMM; each distinct
+    row then recomputes only its own candidate slice.
+    """
+    n = _fold_slices(x.shape[0], overlay.width)
+    out = x @ overlay.base.T
+    if bias is not None:
+        out += bias
+    for k, w in overlay.rows.items():
+        fix = x[k * n : (k + 1) * n] @ w.T
+        if bias is not None:
+            fix += bias
+        out[k * n : (k + 1) * n] = fix
+    return out
+
+
+def conv2d_forward_overlay(
+    x: np.ndarray,
+    overlay: BatchedWeightOverlay,
+    bias: np.ndarray,
+    stride: int,
+    pad: int,
+    groups: int,
+) -> np.ndarray:
+    """Grouped convolution under a sparse candidate-weight overlay.
+
+    Same contract as :func:`linear_forward_overlay` for ``(K*N, C, H, W)``
+    inputs: one base convolution over the folded batch, then per-row
+    slice fixups.
+    """
+    n = _fold_slices(x.shape[0], overlay.width)
+    out, _ = conv2d_forward(x, overlay.base, bias, stride, pad, groups)
+    for k, w in overlay.rows.items():
+        fix, _ = conv2d_forward(
+            x[k * n : (k + 1) * n], w, bias, stride, pad, groups
+        )
+        out[k * n : (k + 1) * n] = fix
+    return out
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:

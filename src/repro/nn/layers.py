@@ -81,6 +81,11 @@ class Conv2d(Module, _CacheMixin):
         # Optional activation fake-quantizer (set by repro.quant); callable
         # applied to the input in forward, treated as identity in backward.
         self.act_quant = None
+        # Optional stacked candidate weights (K, *weight.shape): when set,
+        # forward expects a candidate-major folded batch (K*N, ...) and
+        # evaluates all K candidates in one stacked GEMM.  Eval-only — the
+        # batched path stashes no backward cache.
+        self.weight_batch = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.act_quant is not None:
@@ -88,6 +93,19 @@ class Conv2d(Module, _CacheMixin):
             # Backward treats this as identity (straight-through estimator).
             x = self.act_quant(x)
         bias = self.bias.data if self.bias is not None else None
+        if self.weight_batch is not None:
+            if isinstance(self.weight_batch, F.BatchedWeightOverlay):
+                return F.conv2d_forward_overlay(
+                    x,
+                    self.weight_batch,
+                    bias,
+                    self.stride,
+                    self.padding,
+                    self.groups,
+                )
+            return F.conv2d_forward_batched(
+                x, self.weight_batch, bias, self.stride, self.padding, self.groups
+            )
         out, self._cache = F.conv2d_forward(
             x, self.weight.data, bias, self.stride, self.padding, self.groups
         )
@@ -120,10 +138,17 @@ class Linear(Module, _CacheMixin):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
         # Optional activation fake-quantizer, see Conv2d.act_quant.
         self.act_quant = None
+        # Optional stacked candidate weights, see Conv2d.weight_batch.
+        self.weight_batch = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if self.act_quant is not None:
             x = self.act_quant(x)
+        if self.weight_batch is not None:
+            bias = self.bias.data if self.bias is not None else None
+            if isinstance(self.weight_batch, F.BatchedWeightOverlay):
+                return F.linear_forward_overlay(x, self.weight_batch, bias)
+            return F.linear_forward_batched(x, self.weight_batch, bias)
         self._cache = x
         out = x @ self.weight.data.T
         if self.bias is not None:

@@ -18,10 +18,40 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["DTYPE", "Parameter", "Module", "Sequential"]
+__all__ = [
+    "DTYPE",
+    "Parameter",
+    "Module",
+    "Sequential",
+    "fold_candidates",
+    "unfold_candidates",
+]
 
 # Global parameter/activation dtype for the framework.
 DTYPE = np.float32
+
+
+def fold_candidates(x: np.ndarray, k: int) -> np.ndarray:
+    """Replicate a batch ``K`` times, candidate-major: ``(N,...) -> (K*N,...)``.
+
+    The result stacks ``K`` contiguous copies of ``x``, so candidate ``k``
+    owns rows ``[k*N, (k+1)*N)``.  Because every eval-mode layer op is
+    per-sample independent, the folded batch flows through ordinary
+    forwards untouched; layers holding a ``weight_batch`` overlay unfold
+    it to apply candidate ``k``'s weights to slice ``k`` (one stacked GEMM
+    instead of ``K`` dispatches).
+    """
+    if k < 1:
+        raise ValueError(f"candidate count must be >= 1, got {k}")
+    return np.broadcast_to(x, (k, *x.shape)).reshape(k * x.shape[0], *x.shape[1:])
+
+
+def unfold_candidates(x: np.ndarray, k: int) -> np.ndarray:
+    """Inverse view of :func:`fold_candidates`: ``(K*N,...) -> (K,N,...)``."""
+    kn = x.shape[0]
+    if k < 1 or kn % k:
+        raise ValueError(f"folded batch {kn} not divisible by candidate count {k}")
+    return x.reshape(k, kn // k, *x.shape[1:])
 
 
 class Parameter:
@@ -101,6 +131,13 @@ class Module:
         clean prefix of a perturbed forward pass entirely.  Containers may
         return freshly-built wrapper modules; only the identity of the
         *leaf* modules inside each segment matters to callers.
+
+        Segments additionally propagate the *candidate axis* used by the
+        config-batched sweeps: every eval-mode layer operation is
+        per-sample independent, so an input whose batch dimension holds
+        ``K`` candidate replicas folded candidate-major (``(K*N, ...)``,
+        built by :func:`fold_candidates`) flows through unchanged; only
+        weighted leaves with a ``weight_batch`` overlay unfold it.
         """
         return None
 
@@ -108,7 +145,9 @@ class Module:
         """Replay ``forward`` from segment ``cut`` given that cut's input.
 
         ``forward_from(0, x)`` is equivalent to ``forward(x)`` for any
-        module implementing :meth:`segments`.
+        module implementing :meth:`segments`.  ``x`` may carry a folded
+        candidate axis (see :meth:`segments`); the replay is then ``K``
+        candidate evaluations in one pass.
         """
         segs = self.segments()
         if segs is None:

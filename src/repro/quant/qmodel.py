@@ -9,11 +9,14 @@ pass, with no re-quantization.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from .qconfig import QuantConfig
 from .quantizers import PerChannelAffineQuantizer, UniformSymmetricQuantizer
 
@@ -31,6 +34,56 @@ def quantize_weight(w: np.ndarray, bits: int, scheme: str = "symmetric") -> np.n
     return quantizer(w).astype(w.dtype)
 
 
+#: Per-(weight content, bits, scheme) memo hits/misses across table builds.
+_MEMO_HITS = telemetry.counter("quant.weight_table_hits")
+_MEMO_MISSES = telemetry.counter("quant.weight_table_misses")
+
+
+class _QuantMemo:
+    """Process-wide memo of quantized weight tensors.
+
+    Experiments rebuild :class:`QuantizedWeightTable` for every algorithm
+    and budget although the underlying weights rarely change, re-running
+    the MSE grid search each time.  Entries are keyed by a content digest
+    of the weight buffer plus the quantization config — identity of the
+    *values*, not the array object, so in-place weight updates (QAT) can
+    never serve stale results.  The store is bounded LRU; both hit and
+    miss hand out private copies, so callers can alias their array into a
+    module without coupling tables to each other or to the memo.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max_entries
+        self._store: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    @staticmethod
+    def _key(w: np.ndarray, bits: int, scheme: str) -> Tuple:
+        digest = hashlib.sha1(np.ascontiguousarray(w).tobytes()).hexdigest()
+        return (digest, w.shape, str(w.dtype), int(bits), scheme)
+
+    def get(self, w: np.ndarray, bits: int, scheme: str) -> np.ndarray:
+        key = self._key(w, bits, scheme)
+        cached = self._store.get(key)
+        if cached is not None:
+            self._store.move_to_end(key)
+            _MEMO_HITS.add()
+            return cached.copy()
+        _MEMO_MISSES.add()
+        w_q = quantize_weight(w, bits, scheme)
+        self._store[key] = w_q.copy()
+        while len(self._store) > self.max_entries:
+            self._store.popitem(last=False)
+        return w_q
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+#: Shared across all tables in the process (cleared in tests via
+#: ``QuantizedWeightTable.memo.clear()``).
+_WEIGHT_MEMO = _QuantMemo()
+
+
 class QuantizedWeightTable:
     """Precomputed quantized weights for all (layer, bit-width) pairs.
 
@@ -42,6 +95,9 @@ class QuantizedWeightTable:
         Bit-width candidates and quantization scheme.
     """
 
+    #: Process-wide quantized-weight memo (see :class:`_QuantMemo`).
+    memo = _WEIGHT_MEMO
+
     def __init__(self, layers: Sequence, config: QuantConfig) -> None:
         self.layers = list(layers)
         self.config = config
@@ -52,7 +108,7 @@ class QuantizedWeightTable:
         for i, layer in enumerate(self.layers):
             w = self.original[i]
             for b in config.bits:
-                self._table[(i, b)] = quantize_weight(w, b, config.scheme)
+                self._table[(i, b)] = self.memo.get(w, b, config.scheme)
 
     # -- accessors -----------------------------------------------------------
     @property
@@ -135,3 +191,35 @@ class QuantizedWeightTable:
             yield
         finally:
             self.set_layer(layer_idx, None)
+
+    @contextmanager
+    def batched(self, overrides: Dict[int, np.ndarray]) -> Iterator[None]:
+        """Install stacked candidate-weight overlays on the given layers.
+
+        ``overrides[layer_idx]`` is a ``(K, *weight.shape)`` stack or a
+        sparse :class:`repro.nn.functional.BatchedWeightOverlay`; while
+        the context is open, each overlaid layer's forward expects a
+        candidate-major folded batch ``(K*N, ...)`` and evaluates all
+        ``K`` candidates in one stacked GEMM (see
+        ``repro.nn.functional.linear_forward_batched``).  Non-overlaid
+        layers keep their current (possibly perturbed) weights, which
+        apply identically to every candidate row.  Overlays always come
+        off on exit, so plain forwards resume untouched.
+        """
+        installed: List[int] = []
+        try:
+            for layer_idx, stack in overrides.items():
+                module = self.layers[layer_idx].module
+                expected = self.layers[layer_idx].weight.data.shape
+                shape = stack.shape
+                if len(shape) != len(expected) + 1 or shape[1:] != expected:
+                    raise ValueError(
+                        f"overlay for layer {layer_idx} has shape {shape}, "
+                        f"expected (K, {', '.join(map(str, expected))})"
+                    )
+                module.weight_batch = stack
+                installed.append(layer_idx)
+            yield
+        finally:
+            for layer_idx in installed:
+                self.layers[layer_idx].module.weight_batch = None
