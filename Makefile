@@ -1,10 +1,11 @@
 # Convenience targets for the CLADO reproduction.
 
-.PHONY: verify install lint test bench bench-smoke pretrain smoke reports clean-cache
+.PHONY: verify install lint test chaos-smoke bench bench-smoke pretrain smoke reports clean-cache
 
-# Default: lint conventions, then the tier-1 suite.
+# Default: lint conventions, the tier-1 suite, then the fault-injection
+# equivalence gate (see docs/robustness.md).
 .DEFAULT_GOAL := verify
-verify: lint test
+verify: lint test chaos-smoke
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +17,12 @@ lint:
 
 test:
 	PYTHONPATH=src pytest tests/
+
+# Deterministic fault-injection gate: injected worker crashes, corrupted
+# checkpoints, and solver-deadline expiry must leave results bitwise
+# unchanged / feasible (scripts/chaos_smoke.py).
+chaos-smoke:
+	python scripts/chaos_smoke.py
 
 bench:
 	PYTHONPATH=src pytest benchmarks/ --benchmark-only

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST lint: enforce the telemetry conventions inside ``src/repro/``.
 
-Three rules (see docs/observability.md):
+Four rules (see docs/observability.md and docs/robustness.md):
 
 1. No ``time.time()`` — wall-clock arithmetic must use
    ``telemetry.monotonic()`` (an alias of ``time.perf_counter``) so spans
@@ -17,6 +17,14 @@ Three rules (see docs/observability.md):
    ``np.tensordot`` are rejected.  Hot sweep functions must hand whole
    candidate stacks to the batched kernels in ``repro.nn.functional``
    instead of looping tiny GEMMs in Python.
+4. No silent error swallows — bare ``except:`` is always rejected, and
+   ``except Exception:`` (or ``BaseException``) whose body only
+   passes/returns is rejected unless the site is explicitly allowlisted
+   in :data:`ALLOWED_SWALLOWS` *and* carries a ``lint-allow-swallow``
+   comment explaining why eating the error is the correct behaviour.
+   Narrow handlers (``except OSError:`` etc.) are fine: the rule targets
+   the catch-everything-and-hide pattern that turns worker crashes and
+   data corruption into silently wrong matrices.
 
 Exit status 0 when clean, 1 with a ``path:line: message`` listing per
 violation.  Run via ``make lint`` (part of the default ``make`` target).
@@ -36,6 +44,25 @@ ALLOWED_STDOUT = {TARGET / "telemetry" / "__init__.py"}
 
 #: GEMM entry points that must not sit inside a loop in a hot function.
 GEMM_NAMES = {"matmul", "einsum", "dot", "tensordot"}
+
+#: Broad exception names rule 4 refuses to let swallow silently.
+BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+#: Rule-4 allowlist: ``(file relative to src/repro, enclosing function)``
+#: sites where a broad swallow is the designed behaviour.  Every entry
+#: must also carry a ``lint-allow-swallow`` comment at the handler.
+#:
+#: - SweepCheckpoint.load: a corrupt/truncated resume checkpoint (killed
+#:   mid-write, disk fault, injected corruption) must mean "restart the
+#:   sweep", never "crash the resume" — the checkpoint is an optimization,
+#:   not a source of truth.
+ALLOWED_SWALLOWS = {
+    ("core/sweep.py", "load"),
+}
+
+#: Marker comment required (on or just above the handler line) at every
+#: allowlisted swallow site.
+SWALLOW_MARKER = "lint-allow-swallow"
 
 
 def _is_hot_path(func: ast.AST) -> bool:
@@ -67,7 +94,77 @@ def _gemms_in_loops(func: ast.AST):
                     yield node.lineno, f"{name}()"
 
 
-def _violations(path: Path, tree: ast.AST):
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """True when the handler catches Exception/BaseException (incl. tuples)."""
+    node = handler.type
+    names = node.elts if isinstance(node, ast.Tuple) else [node]
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in BROAD_EXCEPTIONS:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in BROAD_EXCEPTIONS:
+            return True
+    return False
+
+
+def _is_swallow(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body only passes/returns/continues/breaks.
+
+    A body that re-raises, logs, records telemetry, or computes anything
+    is handling the error; a body of control-flow-only statements is
+    hiding it.
+    """
+    return all(
+        isinstance(stmt, (ast.Pass, ast.Return, ast.Continue, ast.Break))
+        and not any(isinstance(n, ast.Call) for n in ast.walk(stmt))
+        for stmt in handler.body
+    )
+
+
+def _swallow_violations(path: Path, tree: ast.AST, source_lines):
+    """Rule 4: bare ``except:`` and silent broad-exception swallows."""
+    relative = path.relative_to(TARGET).as_posix()
+
+    def enclosing_function(target: ast.AST):
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is target:
+                        return node.name
+        return None
+
+    for handler in ast.walk(tree):
+        if not isinstance(handler, ast.ExceptHandler):
+            continue
+        if handler.type is None:
+            yield (
+                handler.lineno,
+                "bare 'except:' is forbidden; name the exceptions this "
+                "site can actually handle",
+            )
+            continue
+        if not (_is_broad(handler) and _is_swallow(handler)):
+            continue
+        func = enclosing_function(handler)
+        allowed = (relative, func) in ALLOWED_SWALLOWS
+        window = source_lines[max(0, handler.lineno - 8) : handler.lineno]
+        marked = any(SWALLOW_MARKER in line for line in window)
+        if allowed and marked:
+            continue
+        hint = (
+            f"allowlisted but missing a '{SWALLOW_MARKER}' comment"
+            if allowed
+            else "narrow the exception type, or handle/record the error "
+            "(allowlist additions need a comment and an "
+            "ALLOWED_SWALLOWS entry)"
+        )
+        yield (
+            handler.lineno,
+            f"silent 'except {ast.unparse(handler.type)}' swallow; {hint}",
+        )
+
+
+def _violations(path: Path, tree: ast.AST, source_lines):
+    yield from _swallow_violations(path, tree, source_lines)
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_hot_path(
             node
@@ -101,12 +198,13 @@ def _violations(path: Path, tree: ast.AST):
 def main() -> int:
     failures = []
     for path in sorted(TARGET.rglob("*.py")):
+        source = path.read_text()
         try:
-            tree = ast.parse(path.read_text(), filename=str(path))
+            tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
             failures.append(f"{path}:{exc.lineno}: syntax error: {exc.msg}")
             continue
-        for lineno, message in _violations(path, tree):
+        for lineno, message in _violations(path, tree, source.splitlines()):
             failures.append(f"{path.relative_to(ROOT)}:{lineno}: {message}")
     if failures:
         sys.stderr.write("\n".join(failures) + "\n")

@@ -68,12 +68,14 @@ def _allocate_body(args, run) -> int:
     model, _ = get_pretrained(args.model, dataset, verbose=True)
     config = model_quant_config(args.model)
     x_sens, y_sens = sensitivity_set(dataset, size=args.set_size)
+    degraded_exit = 0  # flips to 3 when the allocation came from a fallback rung
 
     sens_config = SensitivityConfig(
         strategy="naive" if args.naive_sweep else "auto",
         num_workers=args.workers,
         checkpoint_path=args.sweep_checkpoint,
         eval_batch_k=args.eval_batch_k,
+        max_retries=args.max_retries,
     )
     ctx = ExperimentContext()
     algo = ctx.make_algorithm(
@@ -123,12 +125,23 @@ def _allocate_body(args, run) -> int:
         bits = problem.choice_bits(result.choice)
     else:
         result = algo.allocate(
-            budget, solver=SolverConfig(time_limit=args.time_limit)
+            budget,
+            solver=SolverConfig(
+                time_limit=args.time_limit, deadline=args.deadline
+            ),
         )
         bits = result.bits
         emit(f"solver: {result.solver_method} ({result.solver_status}), "
              f"{result.solve_seconds:.2f}s, "
              f"budget utilization {result.utilization:.1%}")
+        solver_result = result.solver
+        if solver_result is not None and solver_result.extras.get("degraded"):
+            emit(
+                "warning: solver deadline expired — allocation came from "
+                f"fallback rung {solver_result.extras.get('rung')!r} "
+                "(exit code 3)"
+            )
+            degraded_exit = 3
 
     emit(f"\nbudget {bytes_to_mb(budget / 8):.4f} MB "
          f"({args.avg_bits}-bit average)")
@@ -148,11 +161,25 @@ def _allocate_body(args, run) -> int:
         save_packed(args.export, packed)
         total = sum(t.payload_bytes for t in packed.values())
         emit(f"packed weights written to {args.export} ({total} bytes payload)")
-    return 0
+    return degraded_exit
 
 
 def _cmd_allocate(args) -> int:
+    """Run one allocation.
+
+    Exit-code contract (see docs/robustness.md):
+
+    - ``0`` — success
+    - ``2`` — infeasible budget (:class:`InfeasibleBudgetError`)
+    - ``3`` — deadline expired; the allocation came from a fallback rung
+    - ``4`` — unrecoverable sweep failure (retries and serial fallback
+      exhausted), or no ladder rung produced a feasible assignment
+    - ``130`` — interrupted (Ctrl-C); the sweep checkpoint was flushed on
+      the way out, so re-running with the same ``--sweep-checkpoint``
+      resumes instead of restarting
+    """
     from .core import InfeasibleBudgetError
+    from .robustness import DeadlineExpired, SweepFailure
 
     run = None
     if args.trace:
@@ -177,6 +204,21 @@ def _cmd_allocate(args) -> int:
             emit(f"  smallest representable model: {exc.min_size_bits} bits; "
                  "raise --avg-bits")
         return 2
+    except DeadlineExpired as exc:
+        emit(f"error: solver deadline expired without a feasible result — {exc}")
+        return 3
+    except SweepFailure as exc:
+        emit(f"error: unrecoverable sweep failure — {exc}")
+        if exc.group >= 0:
+            emit(f"  plan group {exc.group} failed {exc.attempts} attempts "
+                 "(workers, then serial); see sweep.* counters in the manifest")
+        return 4
+    except KeyboardInterrupt:
+        # The sweep engine flushes its checkpoint in a finally-block before
+        # this propagates, so an interrupted run resumes cleanly.
+        emit("interrupted — sweep checkpoint flushed; re-run with the same "
+             "--sweep-checkpoint to resume")
+        return 130
     if run is not None and run.path is not None:
         emit(f"run manifest: {run.path}")
     return code
@@ -312,6 +354,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--avg-bits", type=float, default=4.0)
     p.add_argument("--set-size", type=int, default=64)
     p.add_argument("--time-limit", type=float, default=20.0)
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="total wall-clock budget (s) for the solver degradation ladder; "
+        "expiry falls back bb -> qp_round -> greedy (exit code 3)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="times a failed sweep group is re-queued before the run "
+        "aborts with exit code 4",
+    )
     p.add_argument(
         "--bops-ratio",
         type=float,

@@ -28,8 +28,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields, replace
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
+from ..robustness.faults import FaultPlan
 from ..solvers.problem import InfeasibleBudgetError
-from .sensitivity import DEFAULT_CACHE_BUDGET
+from .sensitivity import DEFAULT_CACHE_BUDGET, DEFAULT_MAX_RETRIES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .clado import MPQAlgorithm, MPQAssignment
@@ -65,6 +66,11 @@ class SensitivityConfig:
     checkpoint_every: int = 32
     symmetric_diag: bool = False
     eval_batch_k: int = 0  # candidate configs per stacked replay; 0 = auto
+    # Fault tolerance (see docs/robustness.md)
+    cache_bytes: Optional[int] = None  # prefix-cache byte cap; None = off
+    group_deadline: Optional[float] = None  # seconds per group on a worker
+    max_retries: int = DEFAULT_MAX_RETRIES
+    fault_plan: Optional[FaultPlan] = None  # chaos-test injection schedule
     # HAWQ (Hutchinson trace estimation)
     probes: int = 8
     seed: int = 0
@@ -80,6 +86,10 @@ class SensitivityConfig:
             "checkpoint_every": self.checkpoint_every,
             "symmetric_diag": self.symmetric_diag,
             "eval_batch_k": self.eval_batch_k,
+            "cache_bytes": self.cache_bytes,
+            "group_deadline": self.group_deadline,
+            "max_retries": self.max_retries,
+            "fault_plan": self.fault_plan,
         }
 
     def with_overrides(self, **overrides) -> "SensitivityConfig":
@@ -99,11 +109,14 @@ class SolverConfig:
     ``max_capacity_units`` for the DP) without widening this schema.
     """
 
-    method: str = "auto"  # "auto" | "bb" | "dp" | "greedy" | "exhaustive"
+    method: str = "auto"  # "auto" | "bb" | "fallback" | "dp" | "greedy" | ...
     time_limit: float = 20.0
     max_nodes: int = 20_000
     gap_tol: float = 1e-9
     assume_psd: Optional[bool] = None
+    #: Total wall-clock allowance for the degradation ladder (CLI
+    #: ``--deadline``); ``None`` leaves branch-and-bound on ``time_limit``.
+    deadline: Optional[float] = None
     options: Mapping[str, object] = field(default_factory=dict)
 
     def with_overrides(self, **overrides) -> "SolverConfig":
@@ -122,7 +135,10 @@ class SolverConfig:
         updates: Dict[str, object] = {}
         if "solver_method" in kwargs:
             updates["method"] = kwargs.pop("solver_method")
-        for name in ("method", "time_limit", "max_nodes", "gap_tol", "assume_psd"):
+        for name in (
+            "method", "time_limit", "max_nodes", "gap_tol", "assume_psd",
+            "deadline",
+        ):
             if name in kwargs:
                 updates[name] = kwargs.pop(name)
         if kwargs:

@@ -281,15 +281,20 @@ class CLADO(MPQAlgorithm):
         if method == "auto" and self.mode == "diagonal":
             method = "dp"
         solver_kwargs = dict(solver.options)
-        if method in ("auto", "bb"):
+        if method in ("auto", "bb", "fallback"):
+            # Quadratic objectives go down the degradation ladder: exact
+            # branch-and-bound first, QP-relax-and-round then greedy on
+            # deadline expiry or numerical failure — an allocation always
+            # comes back (see repro.solvers.fallback).
             solver_kwargs.setdefault("time_limit", solver.time_limit)
+            solver_kwargs.setdefault("deadline", solver.deadline)
             solver_kwargs.setdefault("max_nodes", solver.max_nodes)
             solver_kwargs.setdefault("gap_tol", solver.gap_tol)
             solver_kwargs.setdefault(
                 "assume_psd",
                 self.use_psd if solver.assume_psd is None else solver.assume_psd,
             )
-            method = "bb"
+            method = "fallback"
         result = solve(problem, method=method, **solver_kwargs)
         return MPQAssignment(
             algorithm=self.name,

@@ -106,6 +106,16 @@ def qat_finetune(
                         ).astype(layer.weight.data.dtype)
                     logits = model.forward(xb)
                     last_loss = criterion.forward(logits, yb)
+                    if not np.isfinite(last_loss):
+                        # Same contract as the sensitivity engine: a NaN/inf
+                        # loss silently poisons every later step (and the
+                        # returned final loss), so fail loudly at the step
+                        # that produced it.
+                        raise RuntimeError(
+                            "non-finite loss during QAT fine-tuning at step "
+                            f"{step} (lr={opt.lr:.3g}; model diverged or "
+                            "inputs are corrupt)"
+                        )
                     opt.zero_grad()
                     model.backward(criterion.backward())
                 finally:

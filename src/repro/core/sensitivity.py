@@ -41,8 +41,9 @@ from __future__ import annotations
 import hashlib
 import multiprocessing as mp
 import os
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -55,6 +56,9 @@ from ..nn import (
     folded_cross_entropy,
 )
 from ..quant import QuantizedWeightTable
+from ..robustness import InjectedWorkerCrash, SweepFailure
+from ..robustness import faults as _faults
+from ..robustness.faults import FaultPlan, resolve_fault_plan
 from .sweep import (
     BatchChunk,
     EvalPlan,
@@ -73,7 +77,12 @@ __all__ = [
     "block_id_from_name",
     "auto_eval_batch_k",
     "auto_waste_factor",
+    "DEFAULT_MAX_RETRIES",
 ]
+
+#: Times a failed group is re-queued (to surviving workers, then serially)
+#: before the sweep gives up with :class:`SweepFailure`.
+DEFAULT_MAX_RETRIES = 2
 
 #: Default number of activation checkpoints each prefix cache may hold.
 DEFAULT_CACHE_BUDGET = 16
@@ -115,6 +124,16 @@ _BATCHED_CHUNKS = telemetry.counter("sweep.batched_chunks")
 _BATCH_WIDTH_MAX = telemetry.gauge("sweep.batch_width_max")
 #: Mean realized candidate-stack width of the last sweep.
 _BATCH_WIDTH_MEAN = telemetry.gauge("sweep.batch_width_mean")
+#: Supervised workers that died mid-group (signal, OOM kill, injected crash).
+_WORKER_CRASHES = telemetry.counter("sweep.worker_crashes")
+#: Groups whose worker reported an in-process error (worker survived).
+_WORKER_ERRORS = telemetry.counter("sweep.worker_errors")
+#: Groups re-queued after a crash, error, or deadline kill.
+_GROUP_RETRIES = telemetry.counter("sweep.group_retries")
+#: Workers terminated because a group exceeded its per-group deadline.
+_DEADLINE_KILLS = telemetry.counter("sweep.deadline_kills")
+#: Groups the pool could not finish that degraded to serial execution.
+_SERIAL_FALLBACK = telemetry.counter("sweep.serial_fallback_groups")
 
 
 @dataclass
@@ -207,19 +226,65 @@ def block_id_from_name(name: str) -> str:
 
 
 # Worker state for fork-based fan-out: set in the parent immediately before
-# the pool is created, inherited copy-on-write by each forked worker.  The
+# the workers are forked, inherited copy-on-write by each child.  The
 # quantized-weight table and prefix-cache arrays are shared pages; each
 # worker's weight swaps and forward caches stay process-local.
 _FORK_STATE: Optional[Tuple["SensitivityEngine", EvalPlan, PrefixCache, list, int]] = None
 
 
-def _run_group_worker(group_idx: int):
+def _supervised_worker_loop(conn) -> None:
+    """Body of one supervised fork worker.
+
+    Receives ``(group_idx, attempt)`` tasks over its pipe, executes them
+    against the inherited :data:`_FORK_STATE`, and replies ``("ok" |
+    "error", group_idx, payload, pid, telemetry_delta)``.  ``None`` is the
+    shutdown sentinel; EOF on the pipe means the parent is gone.  A crash
+    (injected or real) simply kills the process — the supervisor observes
+    the dead pipe and re-queues the in-flight group.
+    """
+    _faults.mark_worker()
     engine, plan, clean, batches, n = _FORK_STATE
-    # The forked child inherited the parent's collector; capture only what
-    # this task records and ship the delta home with the results.
-    with telemetry.fork_capture() as capture:
-        result = engine._execute_group(plan, group_idx, clean, batches, n)
-    return group_idx, result, os.getpid(), capture.delta
+    pid = os.getpid()
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError):
+            return
+        if task is None:
+            return
+        group_idx, attempt = task
+        engine._fault_attempt = attempt
+        # The forked child inherited the parent's collector; capture only
+        # what this task records and ship the delta home with the result.
+        capture = telemetry.fork_capture()
+        try:
+            with capture:
+                result = engine._execute_group(plan, group_idx, clean, batches, n)
+            reply = ("ok", group_idx, result, pid, capture.delta)
+        except BaseException as exc:  # report, stay alive for the next task
+            reply = (
+                "error",
+                group_idx,
+                f"{type(exc).__name__}: {exc}",
+                pid,
+                capture.delta,
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _SupervisedWorker:
+    """Parent-side handle for one supervised fork worker."""
+
+    __slots__ = ("proc", "conn", "group", "started")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.group: Optional[int] = None  # in-flight plan-group index
+        self.started: float = 0.0  # when the in-flight group was dispatched
 
 
 def _merge_chunk_stats(agg: Dict[str, int], stats: Optional[Dict[str, int]]) -> None:
@@ -255,6 +320,23 @@ class SensitivityEngine:
         (default) picks a memory-aware width from the mini-batch
         footprint.  Measured matrices are equal across all settings
         within the sweep-equivalence tolerance.
+    cache_bytes:
+        Byte budget per prefix cache.  When set, cold activation
+        checkpoints are LRU-evicted (per-batch anchors are pinned) and
+        evaluations past an evicted cut recompute from the nearest
+        earlier checkpoint — long sweeps on wide models degrade to
+        recompute instead of OOM-killing workers.
+    group_deadline:
+        Wall-clock seconds one plan group may run on a supervised
+        worker before the worker is killed and the group re-queued.
+        ``None`` (default) disables the deadline.
+    max_retries:
+        Times a failed group is re-queued (onto surviving workers,
+        finally serially in the parent) before the sweep raises
+        :class:`repro.robustness.SweepFailure`.
+    fault_plan:
+        Deterministic fault-injection schedule (chaos testing); also
+        settable via the ``REPRO_FAULT_PLAN`` environment variable.
     """
 
     def __init__(
@@ -269,11 +351,17 @@ class SensitivityEngine:
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 32,
         eval_batch_k: int = 0,
+        cache_bytes: Optional[int] = None,
+        group_deadline: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if strategy not in ("auto", "naive", "segmented"):
             raise ValueError(f"unknown strategy {strategy!r}")
         if eval_batch_k < 0:
             raise ValueError(f"eval_batch_k must be >= 0, got {eval_batch_k}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.model = model
         self.table = table
         self.criterion = criterion or CrossEntropyLoss()
@@ -283,11 +371,19 @@ class SensitivityEngine:
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
         self.eval_batch_k = eval_batch_k
+        self.cache_bytes = cache_bytes
+        self.group_deadline = group_deadline
+        self.max_retries = max_retries
+        self.fault_plan = fault_plan
         self._segments: Optional[list] = None
         self._layer_segments: Optional[Tuple[int, ...]] = None
         self._active_cache_budget: Optional[int] = cache_budget
+        self._active_cache_bytes: Optional[int] = cache_bytes
         self._active_eval_batch_k: int = 1
         self._active_waste_factor: float = _WASTE_FACTOR_DISPATCH
+        self._active_fault_plan: Optional[FaultPlan] = None
+        self._fault_attempt: int = 0
+        self._poison_next_loss: bool = False
 
     # -- loss of the current weight configuration ------------------------------
     def _loss(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> float:
@@ -301,8 +397,13 @@ class SensitivityEngine:
         _FORWARD_EVALS.add()
         return self._check_finite(total / n)
 
-    @staticmethod
-    def _check_finite(loss: float) -> float:
+    def _check_finite(self, loss: float) -> float:
+        if self._poison_next_loss:
+            # Armed by a FaultPlan ``nonfinite_loss`` fault: the very next
+            # measured loss comes out NaN, exercising the identical failure
+            # path a diverged model would.
+            self._poison_next_loss = False
+            loss = float("nan")
         if not np.isfinite(loss):
             # A single non-finite measurement silently poisons the whole
             # sensitivity matrix; fail loudly at the source instead.
@@ -384,6 +485,10 @@ class SensitivityEngine:
         checkpoint_every: Optional[int] = None,
         cache_budget: Optional[int] = None,
         eval_batch_k: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        group_deadline: Optional[float] = None,
+        max_retries: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> SensitivityResult:
         """Measure the sensitivity matrix on the set ``(x, y)``.
 
@@ -406,7 +511,8 @@ class SensitivityEngine:
             cost of ``|B|I`` extra loss evaluations.  Cross terms (Eq. 13)
             already cancel the first order and are unchanged.
         strategy / num_workers / cache_budget / checkpoint_path /
-        checkpoint_every / eval_batch_k:
+        checkpoint_every / eval_batch_k / cache_bytes / group_deadline /
+        max_retries / fault_plan:
             Per-call overrides of the engine-level execution knobs (see
             the class docstring).  ``checkpoint_path`` enables periodic
             persistence of partial losses; re-measuring with the same
@@ -452,6 +558,14 @@ class SensitivityEngine:
                 self.checkpoint_every if checkpoint_every is None else checkpoint_every
             ),
             eval_batch_k=self._resolve_eval_batch_k(eval_batch_k, x, batch_size),
+            cache_bytes=self.cache_bytes if cache_bytes is None else cache_bytes,
+            group_deadline=(
+                self.group_deadline if group_deadline is None else group_deadline
+            ),
+            max_retries=self.max_retries if max_retries is None else max_retries,
+            fault_plan=resolve_fault_plan(
+                self.fault_plan if fault_plan is None else fault_plan
+            ),
         )
 
     # -- naive strategy: one full forward per evaluation -----------------------
@@ -542,6 +656,10 @@ class SensitivityEngine:
         checkpoint_path: Optional[str],
         checkpoint_every: int,
         eval_batch_k: int,
+        cache_bytes: Optional[int] = None,
+        group_deadline: Optional[float] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> SensitivityResult:
         t0 = telemetry.monotonic()
         bits = self.table.config.bits
@@ -553,8 +671,12 @@ class SensitivityEngine:
         nseg = len(segments)
 
         self._active_cache_budget = cache_budget
+        self._active_cache_bytes = cache_bytes
         self._active_eval_batch_k = eval_batch_k
         self._active_waste_factor = auto_waste_factor(x, batch_size)
+        self._active_fault_plan = fault_plan
+        self._fault_attempt = 0
+        self._poison_next_loss = False
         with telemetry.span("sweep.plan"):
             plan = build_eval_plan(
                 num_layers, bits, pair_list, layer_segments, nseg, symmetric_diag,
@@ -586,7 +708,11 @@ class SensitivityEngine:
             for p in g.pairs:
                 if p.start_segment < g.segment:
                     clean_freq[p.start_segment] += 1
-        clean = PrefixCache(segments, select_cuts(clean_freq, cache_budget) | {0})
+        clean = PrefixCache(
+            segments,
+            select_cuts(clean_freq, cache_budget) | {0},
+            max_bytes=cache_bytes,
+        )
         with telemetry.span("sweep.prefix"):
             base_total = 0.0
             for b, (xb, yb) in enumerate(batches):
@@ -606,7 +732,8 @@ class SensitivityEngine:
         if checkpoint_path:
             fingerprint = plan.fingerprint(self._data_fingerprint(x, y, batch_size))
             checkpoint = SweepCheckpoint(
-                checkpoint_path, fingerprint, every=checkpoint_every
+                checkpoint_path, fingerprint, every=checkpoint_every,
+                fault_plan=fault_plan,
             )
             losses = checkpoint.load()
         # A group reruns in full unless every one of its losses was restored.
@@ -624,19 +751,28 @@ class SensitivityEngine:
 
         segment_work = 0
         chunk_stats = {"evals": 0, "chunks": 0, "width_max": 0, "extra_flops": 0}
+        recovery = {
+            "worker_crashes": 0,
+            "worker_errors": 0,
+            "group_retries": 0,
+            "deadline_kills": 0,
+            "serial_fallback_groups": 0,
+        }
         workers = min(num_workers, max(1, len(pending)))
         t_eval_start = telemetry.monotonic()
         try:
             with telemetry.span("sweep.evals", workers=workers):
                 if workers > 1:
-                    segment_work += self._run_groups_parallel(
+                    segment_work += self._run_groups_supervised(
                         plan, pending, clean, batches, n, workers,
-                        losses, checkpoint, tick, chunk_stats,
+                        losses, checkpoint, tick, chunk_stats, recovery,
+                        max_retries=max_retries, group_deadline=group_deadline,
                     )
                 else:
                     for gi in pending:
-                        results, work, stats = self._execute_group(
-                            plan, gi, clean, batches, n
+                        results, work, stats = self._execute_group_resilient(
+                            plan, gi, clean, batches, n,
+                            max_retries=max_retries, recovery=recovery,
                         )
                         segment_work += work
                         _merge_chunk_stats(chunk_stats, stats)
@@ -691,7 +827,16 @@ class SensitivityEngine:
             "executed_evals": executed,
             "prefix_cuts_cached": clean.num_checkpoints,
             "cache_budget": -1 if cache_budget is None else cache_budget,
+            "cache_bytes": -1 if cache_bytes is None else cache_bytes,
+            "clean_cache_evictions": clean.evictions,
+            "clean_cache_stored_bytes": clean.stored_bytes,
             "eval_batch_k": eval_batch_k,
+            "max_retries": max_retries,
+            "group_deadline": -1.0 if group_deadline is None else group_deadline,
+            "injected_fault_plan": (
+                fault_plan.describe() if fault_plan is not None else []
+            ),
+            **recovery,
             "batched_evals": chunk_stats["evals"],
             "batched_chunks": chunk_stats["chunks"],
             "batch_width_max": chunk_stats["width_max"],
@@ -730,7 +875,45 @@ class SensitivityEngine:
         h.update(str(batch_size).encode())
         return h.hexdigest()
 
-    def _run_groups_parallel(
+    def _execute_group_resilient(
+        self,
+        plan: EvalPlan,
+        group_idx: int,
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+        max_retries: int,
+        recovery: Dict[str, int],
+        start_attempt: int = 0,
+    ) -> Tuple[List[Tuple[int, float]], int, Optional[Dict[str, int]]]:
+        """Execute one group in-process with bounded retries.
+
+        The retry loop is safe because a failed attempt leaves no partial
+        state: ``table.perturbed`` restores weights on unwind and the
+        group's suffix cache is rebuilt per attempt, so a retry recomputes
+        the identical losses a clean first attempt would.  ``start_attempt``
+        keeps the fault-injection attempt counter monotonic for groups that
+        already burned attempts on the worker pool.
+        """
+        last_exc: Optional[BaseException] = None
+        for k in range(max_retries + 1):
+            self._fault_attempt = start_attempt + k
+            try:
+                return self._execute_group(plan, group_idx, clean, batches, n)
+            except Exception as exc:
+                last_exc = exc
+                if k < max_retries:
+                    _GROUP_RETRIES.add()
+                    recovery["group_retries"] += 1
+        attempts = start_attempt + max_retries + 1
+        raise SweepFailure(
+            f"sweep group {group_idx} failed after {attempts} attempts "
+            f"(last error: {last_exc})",
+            group=group_idx,
+            attempts=attempts,
+        ) from last_exc
+
+    def _run_groups_supervised(
         self,
         plan: EvalPlan,
         pending: Sequence[int],
@@ -742,28 +925,166 @@ class SensitivityEngine:
         checkpoint: Optional[SweepCheckpoint],
         tick: Callable[[int], None],
         chunk_stats: Dict[str, int],
+        recovery: Dict[str, int],
+        max_retries: int,
+        group_deadline: Optional[float],
     ) -> int:
-        """Fan groups out across fork-based workers; collect by plan index."""
+        """Fan groups out across supervised fork workers; collect by plan index.
+
+        Unlike a bare ``mp.Pool`` (which deadlocks when a worker dies with a
+        task in flight), each worker is a dedicated process on a dedicated
+        pipe.  The supervisor multiplexes on the pipes: EOF means the worker
+        died mid-group (exit-code watch), a per-group deadline kills hung
+        workers, and in both cases the in-flight group re-queues onto the
+        survivors with bounded retries.  Groups the pool cannot finish —
+        retries exhausted or every worker dead — degrade to serial
+        execution in the parent, which is also where :class:`SweepFailure`
+        is ultimately raised.  Completed losses are checkpointed as they
+        arrive, so nothing measured is ever re-measured.
+        """
         global _FORK_STATE
         ctx = mp.get_context("fork")
         segment_work = 0
         _FORK_STATE = (self, plan, clean, batches, n)
+        pool: List[_SupervisedWorker] = []
+        queue = deque(pending)
+        attempts: Dict[int, int] = {gi: 0 for gi in pending}
+        overflow: List[int] = []  # retries exhausted on the pool -> serial
+
+        def deliver(
+            results: List[Tuple[int, float]],
+            work: int,
+            stats: Optional[Dict[str, int]],
+        ) -> None:
+            nonlocal segment_work
+            segment_work += work
+            _merge_chunk_stats(chunk_stats, stats)
+            for index, loss in results:
+                losses[index] = loss
+                if checkpoint is not None:
+                    checkpoint.record(index, loss)
+            tick(len(results))
+
+        def requeue(gi: int) -> None:
+            attempts[gi] += 1
+            if attempts[gi] <= max_retries:
+                _GROUP_RETRIES.add()
+                recovery["group_retries"] += 1
+                queue.append(gi)
+            else:
+                overflow.append(gi)
+
+        def retire(worker: _SupervisedWorker) -> None:
+            """Take a dead/killed worker out of service, re-queueing its group."""
+            if worker in busy:
+                busy.remove(worker)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+            if worker.group is not None:
+                requeue(worker.group)
+                worker.group = None
+
         try:
-            with ctx.Pool(processes=workers) as pool:
-                chunksize = max(1, len(pending) // (workers * 4))
-                for _, (results, work, stats), pid, delta in pool.imap_unordered(
-                    _run_group_worker, pending, chunksize=chunksize
-                ):
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_supervised_worker_loop, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                pool.append(_SupervisedWorker(proc, parent_conn))
+            idle: List[_SupervisedWorker] = list(pool)
+            busy: List[_SupervisedWorker] = []
+
+            while queue or busy:
+                # Dispatch as long as there is work and a live idle worker.
+                while queue and idle:
+                    worker = idle.pop()
+                    gi = queue.popleft()
+                    try:
+                        worker.conn.send((gi, attempts[gi]))
+                    except (BrokenPipeError, OSError):
+                        queue.appendleft(gi)
+                        _WORKER_CRASHES.add()
+                        recovery["worker_crashes"] += 1
+                        retire(worker)
+                        continue
+                    worker.group = gi
+                    worker.started = telemetry.monotonic()
+                    busy.append(worker)
+                if not busy:
+                    break  # every worker is gone; leftovers run serially
+                ready = mp_connection.wait(
+                    [w.conn for w in busy], timeout=0.25
+                )
+                by_conn = {w.conn: w for w in busy}
+                for conn in ready:
+                    worker = by_conn[conn]
+                    try:
+                        kind, gi, payload, pid, delta = conn.recv()
+                    except (EOFError, OSError):
+                        # Exit-code watch: the pipe died with a group in
+                        # flight — worker crashed (signal, OOM, os._exit).
+                        _WORKER_CRASHES.add()
+                        recovery["worker_crashes"] += 1
+                        retire(worker)
+                        continue
                     telemetry.merge_delta(delta, worker=pid)
-                    segment_work += work
-                    _merge_chunk_stats(chunk_stats, stats)
-                    for index, loss in results:
-                        losses[index] = loss
-                        if checkpoint is not None:
-                            checkpoint.record(index, loss)
-                    tick(len(results))
+                    busy.remove(worker)
+                    worker.group = None
+                    idle.append(worker)
+                    if kind == "ok":
+                        deliver(*payload)
+                    else:
+                        _WORKER_ERRORS.add()
+                        recovery["worker_errors"] += 1
+                        requeue(gi)
+                if group_deadline is not None:
+                    now = telemetry.monotonic()
+                    for worker in [
+                        w for w in busy if now - w.started > group_deadline
+                    ]:
+                        _DEADLINE_KILLS.add()
+                        recovery["deadline_kills"] += 1
+                        _WORKER_CRASHES.add()
+                        recovery["worker_crashes"] += 1
+                        retire(worker)
         finally:
             _FORK_STATE = None
+            for worker in pool:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+                if worker.proc.is_alive():
+                    worker.proc.terminate()
+                worker.proc.join(timeout=5.0)
+
+        # Serial degradation: whatever the pool could not finish runs in the
+        # parent, with its own bounded retries; if that fails too the sweep
+        # raises SweepFailure.
+        leftovers = list(queue) + overflow
+        if leftovers:
+            _SERIAL_FALLBACK.add(len(leftovers))
+            recovery["serial_fallback_groups"] += len(leftovers)
+            for gi in leftovers:
+                deliver(
+                    *self._execute_group_resilient(
+                        plan, gi, clean, batches, n,
+                        max_retries=max_retries,
+                        recovery=recovery,
+                        start_attempt=attempts.get(gi, 0),
+                    )
+                )
         return segment_work
 
     def _replay(self, start: int, activation: np.ndarray) -> Tuple[np.ndarray, int]:
@@ -801,7 +1122,9 @@ class SensitivityEngine:
             p.start_segment for p in g.pairs if p.start_segment > g.segment
         )
         group_cache = PrefixCache(
-            segments, select_cuts(group_freq, self._active_cache_budget) | {g.segment}
+            segments,
+            select_cuts(group_freq, self._active_cache_budget) | {g.segment},
+            max_bytes=self._active_cache_bytes,
         )
 
         with telemetry.span("sweep.group", i=g.i), self.table.perturbed(
@@ -864,7 +1187,25 @@ class SensitivityEngine:
         batches: list,
         n: int,
     ) -> Tuple[List[Tuple[int, float]], int, Optional[Dict[str, int]]]:
-        """Route one group to the config-batched or sequential executor."""
+        """Route one group to the config-batched or sequential executor.
+
+        This is also the fault-injection point for sweep faults: it runs
+        identically in supervised workers and in serial execution, and it
+        sees the (group, attempt) pair the schedule is keyed by.
+        """
+        fault = self._active_fault_plan
+        if fault is not None:
+            if fault.crash_now(group_idx, self._fault_attempt):
+                if _faults.in_worker():
+                    # Die the way a real worker does (OOM kill, signal):
+                    # no cleanup, no reply — the supervisor sees EOF.
+                    os._exit(_faults.FAULT_EXIT_CODE)
+                raise InjectedWorkerCrash(
+                    f"injected worker crash at group {group_idx} "
+                    f"(attempt {self._fault_attempt})"
+                )
+            if fault.nonfinite_now(group_idx, self._fault_attempt):
+                self._poison_next_loss = True
         if self._active_eval_batch_k > 1 and plan.groups[group_idx].pairs:
             return self._run_group_batched(plan, group_idx, clean, batches, n)
         out, work = self._run_group(plan, group_idx, clean, batches, n)
@@ -906,7 +1247,9 @@ class SensitivityEngine:
         )
         group_freq = Counter(c.cut for c in chunks if c.cut > g.segment)
         group_cache = PrefixCache(
-            segments, select_cuts(group_freq, self._active_cache_budget) | {g.segment}
+            segments,
+            select_cuts(group_freq, self._active_cache_budget) | {g.segment},
+            max_bytes=self._active_cache_bytes,
         )
 
         with telemetry.span("sweep.group", i=g.i), self.table.perturbed(

@@ -27,13 +27,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from collections import defaultdict
+from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from .. import telemetry
+from ..robustness.faults import FaultPlan
 
 __all__ = [
     "EvalSpec",
@@ -338,6 +339,8 @@ def select_cuts(freq: Mapping[int, int], budget: Optional[int]) -> Set[int]:
 _CACHE_HITS = telemetry.counter("sweep.prefix_cache_hits")
 _CACHE_MISSES = telemetry.counter("sweep.prefix_cache_misses")
 _RECOMPUTED = telemetry.counter("sweep.recomputed_segments")
+_EVICTIONS = telemetry.counter("sweep.prefix_evictions")
+_CACHE_BYTES_PEAK = telemetry.gauge("sweep.prefix_cache_bytes_peak")
 
 
 class PrefixCache:
@@ -350,24 +353,64 @@ class PrefixCache:
     weights; callers must guarantee that no perturbed layer sits strictly
     before the requested cut — the invariant the segmented engine
     maintains by construction.
+
+    ``max_bytes`` additionally caps the *retained* activation footprint:
+    when storing a new checkpoint would exceed the budget, the
+    least-recently-used cold cuts are evicted first, so long sweeps on
+    wide models degrade to recompute-from-an-earlier-cut instead of
+    growing until the OOM killer takes the worker down.  Each batch's
+    earliest stored cut (its recompute anchor) is never evicted — without
+    it no later cut could be reconstructed at all.
     """
 
-    def __init__(self, segments: Sequence, kept_cuts: Sequence[int]) -> None:
+    def __init__(
+        self,
+        segments: Sequence,
+        kept_cuts: Sequence[int],
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.segments = list(segments)
         self.kept: Set[int] = set(kept_cuts)
-        self._store: Dict[Tuple[int, int], np.ndarray] = {}
+        self.max_bytes = max_bytes
+        self._store: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
+        self._anchors: Dict[int, int] = {}  # batch -> earliest stored cut
+        self._bytes = 0
         self.hits = 0
         self.recomputed_segments = 0
+        self.evictions = 0
 
     def put(self, batch: int, cut: int, activation: np.ndarray) -> None:
         """Store a checkpoint if ``cut`` is within the kept set."""
-        if cut in self.kept:
-            self._store[(batch, cut)] = activation
+        if cut not in self.kept or (batch, cut) in self._store:
+            return
+        self._store[(batch, cut)] = activation
+        self._bytes += int(activation.nbytes)
+        anchor = self._anchors.get(batch)
+        if anchor is None or cut < anchor:
+            self._anchors[batch] = cut
+        if self.max_bytes is not None:
+            self._evict_to_budget()
+        _CACHE_BYTES_PEAK.record_max(self._bytes)
+
+    def _evict_to_budget(self) -> None:
+        """Drop cold non-anchor checkpoints (LRU first) until within budget."""
+        while self._bytes > self.max_bytes:
+            victim = None
+            for (b, c) in self._store:  # OrderedDict: least-recent first
+                if c != self._anchors.get(b):
+                    victim = (b, c)
+                    break
+            if victim is None:
+                return  # only anchors left: over budget but correct
+            self._bytes -= int(self._store.pop(victim).nbytes)
+            self.evictions += 1
+            _EVICTIONS.add()
 
     def activation(self, batch: int, cut: int) -> np.ndarray:
         if (batch, cut) in self._store:
             self.hits += 1
             _CACHE_HITS.add()
+            self._store.move_to_end((batch, cut))
             return self._store[(batch, cut)]
         _CACHE_MISSES.add()
         stored = [c for (b, c) in self._store if b == batch and c <= cut]
@@ -377,6 +420,7 @@ class PrefixCache:
             )
         base = max(stored)
         x = self._store[(batch, base)]
+        self._store.move_to_end((batch, base))
         recomputed = cut - base
         for k in range(base, cut):
             x = self.segments[k].forward(x)
@@ -388,6 +432,10 @@ class PrefixCache:
     @property
     def num_checkpoints(self) -> int:
         return len(self._store)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self._bytes
 
 
 # ---------------------------------------------------------------------------
@@ -403,14 +451,26 @@ class SweepCheckpoint:
     different plan (model, mode, data, batching...) is ignored rather
     than silently corrupting the matrix.  Writes are atomic
     (tmp + rename), so a sweep killed mid-save still resumes.
+
+    ``fault_plan`` is the chaos hook: a scheduled ``corrupt_checkpoint``
+    fault truncates the just-written file at a seeded offset, exercising
+    the corrupt-file recovery path with a real damaged file on disk.
     """
 
-    def __init__(self, path, fingerprint: str, every: int = 32) -> None:
+    def __init__(
+        self,
+        path,
+        fingerprint: str,
+        every: int = 32,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         self.path = str(path)
         self.fingerprint = fingerprint
         self.every = max(1, int(every))
+        self.fault_plan = fault_plan
         self._losses: Dict[int, float] = {}
         self._unsaved = 0
+        self._flushes = 0
 
     def load(self) -> Dict[int, float]:
         """Losses from a prior run of the same plan ({} when none usable)."""
@@ -422,6 +482,11 @@ class SweepCheckpoint:
                     return {}
                 indices = blob["indices"]
                 losses = blob["losses"]
+        # lint-allow-swallow: a corrupt/truncated checkpoint (killed
+        # mid-write, disk fault, injected corruption) must mean "restart
+        # the sweep", never "crash the resume" — the checkpoint is an
+        # optimization, not a source of truth.  Allowlisted in
+        # scripts/check_telemetry_lint.py rule 4.
         except Exception:
             return {}  # corrupt/partial file: restart rather than crash
         self._losses = {int(i): float(v) for i, v in zip(indices, losses)}
@@ -450,3 +515,10 @@ class SweepCheckpoint:
             )
         os.replace(tmp, self.path)
         self._unsaved = 0
+        self._flushes += 1
+        if self.fault_plan is not None:
+            keep = self.fault_plan.checkpoint_truncation(self._flushes - 1)
+            if keep is not None:
+                size = os.path.getsize(self.path)
+                with open(self.path, "r+b") as fh:
+                    fh.truncate(max(1, int(size * keep)))

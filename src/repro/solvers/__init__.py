@@ -10,6 +10,7 @@ from __future__ import annotations
 from .branch_bound import solve_branch_and_bound
 from .dp import solve_dp
 from .exhaustive import solve_exhaustive
+from .fallback import LADDER_RUNGS, relax_and_round, solve_with_fallback
 from .greedy import greedy_construct, local_search, solve_greedy
 from .problem import InfeasibleBudgetError, MPQProblem, SolveResult
 from .qp_relax import RelaxationResult, solve_relaxation
@@ -24,6 +25,9 @@ __all__ = [
     "solve_greedy",
     "solve_branch_and_bound",
     "solve_relaxation",
+    "solve_with_fallback",
+    "relax_and_round",
+    "LADDER_RUNGS",
     "RelaxationResult",
     "greedy_construct",
     "local_search",
@@ -34,7 +38,9 @@ def solve(problem: MPQProblem, method: str = "auto", **kwargs) -> SolveResult:
     """Solve an MPQ instance.
 
     ``method`` is one of ``auto`` (DP for diagonal objectives, otherwise
-    branch-and-bound), ``dp``, ``bb``, ``greedy``, or ``exhaustive``.
+    branch-and-bound), ``dp``, ``bb``, ``fallback`` (the degradation
+    ladder — see :func:`solve_with_fallback`), ``greedy``, or
+    ``exhaustive``.
     """
     if method == "auto":
         method = "dp" if problem.is_diagonal() else "bb"
@@ -42,6 +48,8 @@ def solve(problem: MPQProblem, method: str = "auto", **kwargs) -> SolveResult:
         return solve_dp(problem, **kwargs)
     if method == "bb":
         return solve_branch_and_bound(problem, **kwargs)
+    if method == "fallback":
+        return solve_with_fallback(problem, **kwargs)
     if method == "greedy":
         return solve_greedy(problem, **kwargs)
     if method == "exhaustive":

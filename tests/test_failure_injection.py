@@ -1,12 +1,32 @@
-"""Failure-injection tests: corrupt inputs must fail loudly, not silently."""
+"""Failure-injection tests: corrupt inputs must fail loudly, not silently,
+and injected faults (worker crashes, damaged checkpoints, solver deadline
+expiry) must be recovered without changing results.
+
+The fault tests are driven end-to-end by seeded
+:class:`repro.robustness.FaultPlan` schedules through the production
+injection points — no monkeypatching — so every failure reproduces
+bitwise under ``REPRO_FAULT_PLAN`` (see docs/robustness.md).
+"""
 
 import numpy as np
 import pytest
 
 from repro.core import CLADO, SensitivityEngine
+from repro.core.qat import QATConfig, qat_finetune
 from repro.models import build_model, quantizable_layers
+from repro.nn import Linear, ReLU, Sequential
 from repro.quant import QuantConfig, QuantizedWeightTable
-from repro.solvers import MPQProblem, solve_branch_and_bound
+from repro.robustness import (
+    DeadlineExpired,
+    FaultPlan,
+    FaultSpec,
+    SweepFailure,
+)
+from repro.solvers import (
+    MPQProblem,
+    solve_branch_and_bound,
+    solve_with_fallback,
+)
 
 
 class TestNonFiniteGuards:
@@ -49,6 +69,244 @@ class TestNonFiniteGuards:
         # weights must be pristine either way.
         for layer, b in zip(layers, before):
             np.testing.assert_array_equal(layer.weight.data, b)
+
+
+class _QLayer:
+    def __init__(self, idx, name, module):
+        self.index, self.name, self.module = idx, name, module
+
+    @property
+    def weight(self):
+        return self.module.weight
+
+    @property
+    def num_params(self):
+        return self.module.weight.size
+
+
+def _mlp_setup(num_linear=6, dim=6, num_classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    mods = []
+    for k in range(num_linear - 1):
+        mods.append(Linear(dim if k else 4, dim, rng=rng))
+        mods.append(ReLU())
+    mods.append(Linear(dim, num_classes, rng=rng))
+    model = Sequential(*mods)
+    model.eval()
+    linears = [m for m in mods if isinstance(m, Linear)]
+    layers = [_QLayer(i, f"fc{i}", m) for i, m in enumerate(linears)]
+    table = QuantizedWeightTable(layers, QuantConfig(bits=(4, 8)))
+    data_rng = np.random.default_rng(1)
+    x = data_rng.normal(size=(16, 4)).astype(np.float32)
+    y = data_rng.integers(0, 3, size=16)
+    return model, layers, table, x, y
+
+
+@pytest.fixture(scope="module")
+def fault_mlp():
+    return _mlp_setup()
+
+
+def _measure(setup, workers, fault_plan=None, checkpoint=None, **kwargs):
+    model, _layers, table, x, y = setup
+    engine = SensitivityEngine(
+        model, table, strategy="segmented", num_workers=workers
+    )
+    return engine.measure(
+        x,
+        y,
+        mode="full",
+        batch_size=8,
+        fault_plan=fault_plan,
+        checkpoint_path=None if checkpoint is None else str(checkpoint),
+        **kwargs,
+    )
+
+
+class TestWorkerCrashRecovery:
+    """Injected worker deaths mid-sweep must not change the matrix."""
+
+    def test_crash_mid_group_recovers_bitwise(self, fault_mlp):
+        clean = _measure(fault_mlp, workers=2)
+        plan = FaultPlan(seed=0, faults=(FaultSpec("worker_crash", at=1),))
+        injected = _measure(fault_mlp, workers=2, fault_plan=plan)
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.extras["worker_crashes"] == 1
+        assert injected.extras["group_retries"] >= 1
+        assert injected.extras["injected_fault_plan"] == plan.describe()
+
+    def test_serial_crash_recovers_bitwise(self, fault_mlp):
+        """In-process (serial) execution retries through the same plan."""
+        clean = _measure(fault_mlp, workers=1)
+        plan = FaultPlan(seed=0, faults=(FaultSpec("worker_crash", at=2),))
+        injected = _measure(fault_mlp, workers=1, fault_plan=plan)
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.extras["group_retries"] == 1
+
+    def test_nonfinite_loss_retried(self, fault_mlp):
+        clean = _measure(fault_mlp, workers=2)
+        plan = FaultPlan(seed=0, faults=(FaultSpec("nonfinite_loss", at=3),))
+        injected = _measure(fault_mlp, workers=2, fault_plan=plan)
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.extras["worker_errors"] == 1
+
+    def test_retries_exhausted_is_sweep_failure(self, fault_mlp):
+        """A group that fails on every retry must fail loudly and typed."""
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec("worker_crash", at=0, times=10),)
+        )
+        with pytest.raises(SweepFailure) as exc_info:
+            _measure(fault_mlp, workers=1, fault_plan=plan, max_retries=2)
+        assert exc_info.value.group == 0
+        assert exc_info.value.attempts == 3
+
+    def test_crash_fault_consumed_across_requeues(self, fault_mlp):
+        """``times=2`` kills two attempts; the third succeeds bitwise."""
+        clean = _measure(fault_mlp, workers=2)
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec("worker_crash", at=1, times=2),)
+        )
+        injected = _measure(fault_mlp, workers=2, fault_plan=plan)
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.extras["worker_crashes"] == 2
+
+
+class TestCheckpointCorruption:
+    """Truncated/corrupted resume files restart the sweep, never crash it."""
+
+    def test_corrupted_checkpoint_resume(self, fault_mlp, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.npz"
+        clean = _measure(fault_mlp, workers=1)
+        # Corrupt every flush: whichever flush is the last leaves a
+        # truncated file on disk, through the production write path.
+        plan = FaultPlan(
+            seed=5,
+            faults=tuple(
+                FaultSpec("corrupt_checkpoint", at=k) for k in range(256)
+            ),
+        )
+        first = _measure(
+            fault_mlp,
+            workers=1,
+            fault_plan=plan,
+            checkpoint=ckpt,
+            checkpoint_every=4,
+        )
+        # Corruption affects only the file; the in-memory result is exact.
+        np.testing.assert_array_equal(clean.matrix, first.matrix)
+        assert ckpt.exists()
+        with pytest.raises(Exception):
+            with np.load(ckpt, allow_pickle=False) as blob:
+                blob["losses"]
+        # Resume sees the damaged file, restarts, and still agrees.
+        resumed = _measure(
+            fault_mlp, workers=1, checkpoint=ckpt, checkpoint_every=4
+        )
+        assert resumed.extras["resumed_evals"] == 0
+        np.testing.assert_array_equal(clean.matrix, resumed.matrix)
+
+    def test_intact_checkpoint_still_resumes(self, fault_mlp, tmp_path):
+        """Sanity inverse: an uncorrupted checkpoint is actually used."""
+        ckpt = tmp_path / "sweep.ckpt.npz"
+        first = _measure(
+            fault_mlp, workers=1, checkpoint=ckpt, checkpoint_every=4
+        )
+        resumed = _measure(
+            fault_mlp, workers=1, checkpoint=ckpt, checkpoint_every=4
+        )
+        assert resumed.extras["resumed_evals"] > 0
+        np.testing.assert_array_equal(first.matrix, resumed.matrix)
+
+
+class TestSolverLadderFallback:
+    def _problem(self, n=5, seed=2):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(3 * n, 3 * n))
+        return MPQProblem(
+            sensitivity=a @ a.T,
+            layer_sizes=[50 + 10 * i for i in range(n)],
+            bits=(2, 4, 8),
+            budget_bits=int(5 * sum(50 + 10 * i for i in range(n))),
+        )
+
+    def test_injected_bb_expiry_falls_through(self):
+        problem = self._problem()
+        plan = FaultPlan(faults=(FaultSpec("solver_deadline", rung="bb"),))
+        result = solve_with_fallback(problem, deadline=5.0, fault_plan=plan)
+        assert result.size_bits <= problem.budget_bits
+        assert result.extras["rung"] in ("qp_round", "greedy")
+        assert result.extras["degraded"] is True
+        assert result.extras["ladder"][0]["status"] == "deadline_injected"
+
+    def test_greedy_floor_when_upper_rungs_expire(self):
+        problem = self._problem()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec("solver_deadline", rung="bb"),
+                FaultSpec("solver_deadline", rung="qp_round"),
+            )
+        )
+        result = solve_with_fallback(problem, deadline=5.0, fault_plan=plan)
+        assert result.method == "greedy"
+        assert result.extras["rung"] == "greedy"
+        assert result.size_bits <= problem.budget_bits
+
+    def test_all_rungs_expired_raises_deadline(self):
+        problem = self._problem()
+        plan = FaultPlan(
+            faults=tuple(
+                FaultSpec("solver_deadline", rung=r)
+                for r in ("bb", "qp_round", "greedy")
+            )
+        )
+        with pytest.raises(DeadlineExpired):
+            solve_with_fallback(problem, deadline=5.0, fault_plan=plan)
+
+    def test_clean_ladder_not_degraded(self):
+        problem = self._problem(n=3)
+        result = solve_with_fallback(problem, deadline=30.0)
+        assert result.extras["rung"] == "bb"
+        assert result.extras["degraded"] is False
+
+
+class TestQATNonFinite:
+    def test_diverged_qat_raises_at_step(self):
+        model, layers, _table, x, y = _mlp_setup()  # private copy: mutated
+        x = np.full_like(x, np.nan)  # corrupt batch: loss is NaN at step 0
+        with pytest.raises(RuntimeError, match="non-finite loss.*step"):
+            qat_finetune(
+                model,
+                layers,
+                [4] * len(layers),
+                x,
+                y,
+                config=QATConfig(epochs=1, batch_size=8, lr=1e3),
+            )
+
+
+class TestFaultPlanActivation:
+    def test_roundtrip_json(self):
+        plan = FaultPlan(
+            seed=9,
+            faults=(
+                FaultSpec("worker_crash", at=2, times=3),
+                FaultSpec("solver_deadline", rung="qp_round"),
+            ),
+        )
+        assert FaultPlan.parse(plan.to_json()) == plan
+
+    def test_env_activation(self, fault_mlp, monkeypatch):
+        """``REPRO_FAULT_PLAN`` drives the sweep without code changes."""
+        clean = _measure(fault_mlp, workers=1)
+        plan = FaultPlan(seed=0, faults=(FaultSpec("worker_crash", at=1),))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        injected = _measure(fault_mlp, workers=1)
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.extras["group_retries"] == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("disk_full")
 
 
 class TestInfeasibleBudgets:

@@ -104,6 +104,21 @@ class TestNaiveSegmentedEquivalence:
         ).measure(x, y, batch_size=8)
         np.testing.assert_allclose(tight.matrix, naive.matrix, atol=1e-6)
 
+    def test_byte_bounded_cache_still_exact(self, mlp_setup):
+        """A tight ``cache_bytes`` cap forces evictions, not wrong numbers."""
+        model, layers, table, x, y = mlp_setup
+        free = SensitivityEngine(model, table, strategy="segmented").measure(
+            x, y, batch_size=8
+        )
+        capped = SensitivityEngine(model, table, strategy="segmented").measure(
+            x, y, batch_size=8, cache_bytes=2048
+        )
+        np.testing.assert_array_equal(capped.matrix, free.matrix)
+        assert capped.extras["cache_bytes"] == 2048
+        assert capped.extras["clean_cache_evictions"] > 0
+        assert capped.extras["clean_cache_stored_bytes"] <= 2048
+        assert free.extras["clean_cache_evictions"] == 0
+
     def test_weights_restored_and_progress_complete(self, mlp_setup):
         model, layers, table, x, y = mlp_setup
         before = [layer.weight.data.copy() for layer in layers]
@@ -253,6 +268,25 @@ class TestPrefixCache:
         assert cache.recomputed_segments == 1
         with pytest.raises(KeyError):
             cache.activation(1, 2)  # unknown batch
+
+    def test_byte_budget_evicts_lru_but_pins_anchors(self):
+        segs = [Linear(3, 3, rng=np.random.default_rng(k)) for k in range(4)]
+        for s in segs:
+            s.eval()
+        x = np.ones((2, 3), dtype=np.float32)  # 24 bytes per activation
+        cache = PrefixCache(segs, kept_cuts={0, 1, 2, 3}, max_bytes=48)
+        a = x
+        for k, s in enumerate(segs):
+            cache.put(0, k, a)
+            a = s.forward(a)
+        # Budget holds two activations: the batch anchor (cut 0) is pinned,
+        # so the coldest non-anchor cuts were evicted.
+        assert cache.evictions == 2
+        assert cache.stored_bytes <= 48
+        np.testing.assert_allclose(cache.activation(0, 0), x)
+        # Evicted cuts recompute from the anchor instead of failing.
+        direct = segs[1].forward(segs[0].forward(x))
+        np.testing.assert_allclose(cache.activation(0, 2), direct)
 
     def test_select_cuts_prefers_hot_deep_cuts(self):
         freq = {0: 100, 1: 1, 2: 10, 3: 4}
