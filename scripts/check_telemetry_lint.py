@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST lint: enforce the telemetry conventions inside ``src/repro/``.
 
-Four rules (see docs/observability.md and docs/robustness.md):
+Five rules (see docs/observability.md and docs/robustness.md):
 
 1. No ``time.time()`` — wall-clock arithmetic must use
    ``telemetry.monotonic()`` (an alias of ``time.perf_counter``) so spans
@@ -25,6 +25,11 @@ Four rules (see docs/observability.md and docs/robustness.md):
    Narrow handlers (``except OSError:`` etc.) are fine: the rule targets
    the catch-everything-and-hide pattern that turns worker crashes and
    data corruption into silently wrong matrices.
+5. No ``np.linalg.eigh`` / ``eigvalsh`` outside ``repro/core/psd.py`` —
+   all eigendecomposition of Ĝ flows through the audited module so its
+   SVD fallback (and the ``psd.fallback`` counter) covers every caller;
+   a direct call elsewhere would crash on the same near-defective
+   matrices the fallback exists to survive.
 
 Exit status 0 when clean, 1 with a ``path:line: message`` listing per
 violation.  Run via ``make lint`` (part of the default ``make`` target).
@@ -51,14 +56,14 @@ BROAD_EXCEPTIONS = {"Exception", "BaseException"}
 #: Rule-4 allowlist: ``(file relative to src/repro, enclosing function)``
 #: sites where a broad swallow is the designed behaviour.  Every entry
 #: must also carry a ``lint-allow-swallow`` comment at the handler.
-#:
-#: - SweepCheckpoint.load: a corrupt/truncated resume checkpoint (killed
-#:   mid-write, disk fault, injected corruption) must mean "restart the
-#:   sweep", never "crash the resume" — the checkpoint is an optimization,
-#:   not a source of truth.
-ALLOWED_SWALLOWS = {
-    ("core/sweep.py", "load"),
-}
+#: Currently empty — the one historical entry (SweepCheckpoint.load) now
+#: attributes every rejected checkpoint to a ``checkpoint.*`` counter, so
+#: its broad handler records the error and passes the rule on merit.
+ALLOWED_SWALLOWS: set = set()
+
+#: Rule 5: the only module allowed to call eigh/eigvalsh directly.
+EIGH_NAMES = {"eigh", "eigvalsh"}
+ALLOWED_EIGH = {TARGET / "core" / "psd.py"}
 
 #: Marker comment required (on or just above the handler line) at every
 #: allowlisted swallow site.
@@ -193,6 +198,18 @@ def _violations(path: Path, tree: ast.AST, source_lines):
             and path not in ALLOWED_STDOUT
         ):
             yield node.lineno, "bare print() is forbidden; use telemetry.emit()"
+        if path not in ALLOWED_EIGH and (
+            (isinstance(fn, ast.Attribute) and fn.attr in EIGH_NAMES)
+            or (isinstance(fn, ast.Name) and fn.id in EIGH_NAMES)
+        ):
+            name = fn.attr if isinstance(fn, ast.Attribute) else fn.id
+            yield (
+                node.lineno,
+                f"direct {name}() outside core/psd.py; route through the "
+                "audited helpers (psd_project / min_eigenvalue / "
+                "psd_violation / condition_number) so the SVD fallback "
+                "covers this call",
+            )
 
 
 def main() -> int:

@@ -76,6 +76,9 @@ def _allocate_body(args, run) -> int:
         checkpoint_path=args.sweep_checkpoint,
         eval_batch_k=args.eval_batch_k,
         max_retries=args.max_retries,
+        health=args.health,
+        health_rounds=args.health_rounds,
+        health_repair=not args.no_health_repair,
     )
     ctx = ExperimentContext()
     algo = ctx.make_algorithm(
@@ -102,6 +105,15 @@ def _allocate_body(args, run) -> int:
                 f"(width mean {float(e['batch_width_mean']):.1f}, "
                 f"max {e['batch_width_max']}, cap {e['eval_batch_k']})"
             )
+    health_record = getattr(algo, "health_record", None)
+    if health_record is not None:
+        emit(
+            f"  matrix health: rung {health_record['rung']!r} "
+            f"({'healthy' if health_record['healthy'] else 'UNHEALTHY'}), "
+            f"{health_record['quarantined']} quarantined, "
+            f"{health_record['remeasured']} remeasured, "
+            f"{health_record['persistent']} persistent"
+        )
 
     sizes = algo.layer_sizes()
     budget = int(sizes.sum() * args.avg_bits)
@@ -174,12 +186,15 @@ def _cmd_allocate(args) -> int:
     - ``3`` — deadline expired; the allocation came from a fallback rung
     - ``4`` — unrecoverable sweep failure (retries and serial fallback
       exhausted), or no ladder rung produced a feasible assignment
+    - ``5`` — ``--health strict`` and the sensitivity matrix still failed
+      integrity checks after the repair ladder
+      (:class:`UnhealthyMatrixError`)
     - ``130`` — interrupted (Ctrl-C); the sweep checkpoint was flushed on
       the way out, so re-running with the same ``--sweep-checkpoint``
       resumes instead of restarting
     """
     from .core import InfeasibleBudgetError
-    from .robustness import DeadlineExpired, SweepFailure
+    from .robustness import DeadlineExpired, SweepFailure, UnhealthyMatrixError
 
     run = None
     if args.trace:
@@ -213,6 +228,13 @@ def _cmd_allocate(args) -> int:
             emit(f"  plan group {exc.group} failed {exc.attempts} attempts "
                  "(workers, then serial); see sweep.* counters in the manifest")
         return 4
+    except UnhealthyMatrixError as exc:
+        emit(f"error: sensitivity matrix failed integrity checks — {exc}")
+        if exc.record:
+            emit(f"  repair rung reached: {exc.record.get('rung')!r}; "
+                 f"{exc.record.get('flagged_final')} entries still flagged "
+                 "(see the health record in the run manifest)")
+        return 5
     except KeyboardInterrupt:
         # The sweep engine flushes its checkpoint in a finally-block before
         # this propagates, so an interrupted run resumes cleanly.
@@ -397,6 +419,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="candidate configs stacked per sweep replay "
         "(0 = memory-aware auto, 1 = sequential)",
+    )
+    p.add_argument(
+        "--health",
+        choices=("off", "warn", "strict"),
+        default="off",
+        help="sensitivity-matrix integrity checking: detect + "
+        "quarantine-and-remeasure + repair ladder; strict exits 5 when the "
+        "matrix stays unhealthy after repair",
+    )
+    p.add_argument(
+        "--health-rounds",
+        type=int,
+        default=2,
+        help="quarantine re-measure rounds per flagged entry",
+    )
+    p.add_argument(
+        "--no-health-repair",
+        action="store_true",
+        help="detect and remeasure only; skip the structural repair ladder",
     )
     p.add_argument(
         "--trace",

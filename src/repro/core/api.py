@@ -71,12 +71,21 @@ class SensitivityConfig:
     group_deadline: Optional[float] = None  # seconds per group on a worker
     max_retries: int = DEFAULT_MAX_RETRIES
     fault_plan: Optional[FaultPlan] = None  # chaos-test injection schedule
+    # Measurement integrity (see docs/robustness.md)
+    health: str = "off"  # "off" | "warn" | "strict"
+    health_rounds: int = 2  # quarantine re-measure rounds
+    health_repair: bool = True  # structural repair ladder after quarantine
     # HAWQ (Hutchinson trace estimation)
     probes: int = 8
     seed: int = 0
 
     def engine_kwargs(self) -> dict:
-        """Keyword arguments for ``SensitivityEngine.measure``."""
+        """Keyword arguments for ``SensitivityEngine.measure``.
+
+        ``health_repair`` is not an engine knob — the repair ladder runs
+        in ``CLADO._prepare`` on the assembled matrix — so only the
+        detection/quarantine fields are forwarded here.
+        """
         return {
             "batch_size": self.batch_size,
             "strategy": self.strategy,
@@ -90,6 +99,8 @@ class SensitivityConfig:
             "group_deadline": self.group_deadline,
             "max_retries": self.max_retries,
             "fault_plan": self.fault_plan,
+            "health": self.health,
+            "health_rounds": self.health_rounds,
         }
 
     def with_overrides(self, **overrides) -> "SensitivityConfig":

@@ -27,6 +27,7 @@ from .. import telemetry
 from ..models import QuantizableLayer, quantizable_layers
 from ..nn import CrossEntropyLoss, Module
 from ..quant import QuantConfig, QuantizedWeightTable, bytes_to_mb
+from ..robustness.health import HealthPolicy, UnhealthyMatrixError, repair_ladder
 from ..solvers import MPQProblem, SolveResult, solve
 from .api import (
     AllocationResult,
@@ -34,8 +35,8 @@ from .api import (
     SensitivityConfig,
     SolverConfig,
 )
-from .psd import min_eigenvalue, psd_project
-from .sensitivity import SensitivityEngine, SensitivityResult
+from .psd import condition_number, min_eigenvalue, psd_project, psd_violation
+from .sensitivity import SensitivityEngine, SensitivityResult, block_id_from_name
 
 __all__ = ["MPQAssignment", "MPQAlgorithm", "CLADO"]
 
@@ -249,25 +250,76 @@ class CLADO(MPQAlgorithm):
             self.name = "CLADO-block"
         self.raw: Optional[SensitivityResult] = None
         self.matrix: Optional[np.ndarray] = None
+        self.health_record: Optional[dict] = None
+
+    def _repair_and_project(
+        self, result: SensitivityResult, policy: Optional[HealthPolicy]
+    ) -> None:
+        """Repair ladder (when a health report exists) then projection.
+
+        Populates ``self.matrix`` and ``self.health_record``; the record
+        gains the *post*-projection conditioning so manifests show the
+        pre/post effect of repair + projection together.
+        """
+        matrix = result.matrix
+        record: Optional[dict] = None
+        if result.health is not None:
+            with telemetry.span("prepare.health_repair"):
+                matrix, record = repair_ladder(
+                    result.matrix,
+                    result.health,
+                    policy,
+                    blocks=[
+                        block_id_from_name(layer.name) for layer in self.layers
+                    ],
+                    num_choices=len(self.config.bits),
+                )
+        with telemetry.span("prepare.psd_project"):
+            if self.use_psd:
+                self.matrix = psd_project(matrix)
+            else:
+                self.matrix = 0.5 * (matrix + matrix.T)
+        if record is not None:
+            neg, total = psd_violation(self.matrix)
+            record["post_psd_violation"] = [neg, total]
+            record["post_condition_number"] = condition_number(self.matrix)
+        self.health_record = record
 
     def _prepare(
         self, x: np.ndarray, y: np.ndarray, config: SensitivityConfig
     ) -> None:
         engine = SensitivityEngine(self.model, self.table, self.criterion)
         self.raw = engine.measure(x, y, mode=self.mode, **config.engine_kwargs())
-        with telemetry.span("prepare.psd_project"):
-            if self.use_psd:
-                self.matrix = psd_project(self.raw.matrix)
-            else:
-                self.matrix = 0.5 * (self.raw.matrix + self.raw.matrix.T)
+        self._repair_and_project(
+            self.raw,
+            HealthPolicy(
+                remeasure_rounds=config.health_rounds, repair=config.health_repair
+            ),
+        )
+        record = self.health_record
+        if record is not None:
+            run = telemetry.current_run()
+            if run is not None:
+                run.add_result(health=record)
+            if not record["healthy"]:
+                message = (
+                    f"sensitivity matrix unhealthy after repair ladder "
+                    f"(rung={record['rung']}, "
+                    f"flagged={record['flagged_final']})"
+                )
+                if config.health == "strict":
+                    raise UnhealthyMatrixError(message, record)
+                warnings.warn(message, RuntimeWarning, stacklevel=2)
 
     def set_sensitivity(self, result: SensitivityResult) -> None:
-        """Install a precomputed (e.g. cached) sensitivity measurement."""
+        """Install a precomputed (e.g. cached) sensitivity measurement.
+
+        A cached result that carries a health report still goes through
+        the repair ladder (default policy); strict gating is a
+        ``prepare``-time concern and does not apply here.
+        """
         self.raw = result
-        if self.use_psd:
-            self.matrix = psd_project(result.matrix)
-        else:
-            self.matrix = 0.5 * (result.matrix + result.matrix.T)
+        self._repair_and_project(result, None)
         self.prepared = True
 
     def _allocate(self, budget_bits: int, solver: SolverConfig) -> MPQAssignment:
@@ -296,6 +348,15 @@ class CLADO(MPQAlgorithm):
             )
             method = "fallback"
         result = solve(problem, method=method, **solver_kwargs)
+        extras = {
+            "mode": self.mode,
+            "use_psd": self.use_psd,
+            "min_eig_raw": (
+                min_eigenvalue(self.raw.matrix) if self.raw is not None else 0.0
+            ),
+        }
+        if self.health_record is not None:
+            extras["health"] = self.health_record
         return MPQAssignment(
             algorithm=self.name,
             bits=problem.choice_bits(result.choice),
@@ -304,11 +365,5 @@ class CLADO(MPQAlgorithm):
             # alpha^T G alpha approximates Omega = dw^T H dw = 2 dLoss.
             predicted_loss_increase=0.5 * problem.objective(result.choice),
             solver=result,
-            extras={
-                "mode": self.mode,
-                "use_psd": self.use_psd,
-                "min_eig_raw": (
-                    min_eigenvalue(self.raw.matrix) if self.raw is not None else 0.0
-                ),
-            },
+            extras=extras,
         )

@@ -58,10 +58,13 @@ from ..nn import (
 from ..quant import QuantizedWeightTable
 from ..robustness import InjectedWorkerCrash, SweepFailure
 from ..robustness import faults as _faults
+from ..robustness import health as _health
 from ..robustness.faults import FaultPlan, resolve_fault_plan
+from ..robustness.health import GMatrixHealth, HealthPolicy
 from .sweep import (
     BatchChunk,
     EvalPlan,
+    EvalSpec,
     GroupPlan,
     PrefixCache,
     SweepCheckpoint,
@@ -148,6 +151,10 @@ class SensitivityResult:
     mode: str
     bits: Tuple[int, ...] = ()
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Post-quarantine integrity report (``None`` when health checking is
+    #: off); the structural repair ladder in ``CLADO._prepare`` consumes
+    #: it.  A JSON-safe summary also lands in ``extras["health"]``.
+    health: Optional[GMatrixHealth] = None
 
     @property
     def num_layers(self) -> int:
@@ -355,6 +362,9 @@ class SensitivityEngine:
         group_deadline: Optional[float] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         fault_plan: Optional[FaultPlan] = None,
+        health: str = "off",
+        health_rounds: int = 2,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         if strategy not in ("auto", "naive", "segmented"):
             raise ValueError(f"unknown strategy {strategy!r}")
@@ -362,6 +372,10 @@ class SensitivityEngine:
             raise ValueError(f"eval_batch_k must be >= 0, got {eval_batch_k}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if health not in ("off", "warn", "strict"):
+            raise ValueError(f"unknown health mode {health!r}")
+        if health_rounds < 0:
+            raise ValueError(f"health_rounds must be >= 0, got {health_rounds}")
         self.model = model
         self.table = table
         self.criterion = criterion or CrossEntropyLoss()
@@ -375,6 +389,9 @@ class SensitivityEngine:
         self.group_deadline = group_deadline
         self.max_retries = max_retries
         self.fault_plan = fault_plan
+        self.health = health
+        self.health_rounds = health_rounds
+        self.health_policy = health_policy
         self._segments: Optional[list] = None
         self._layer_segments: Optional[Tuple[int, ...]] = None
         self._active_cache_budget: Optional[int] = cache_budget
@@ -489,6 +506,9 @@ class SensitivityEngine:
         group_deadline: Optional[float] = None,
         max_retries: Optional[int] = None,
         fault_plan: Optional[FaultPlan] = None,
+        health: Optional[str] = None,
+        health_rounds: Optional[int] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> SensitivityResult:
         """Measure the sensitivity matrix on the set ``(x, y)``.
 
@@ -517,9 +537,30 @@ class SensitivityEngine:
             the class docstring).  ``checkpoint_path`` enables periodic
             persistence of partial losses; re-measuring with the same
             model, data, and plan resumes instead of restarting.
+        health / health_rounds / health_policy:
+            Measurement-integrity checking (docs/robustness.md): any mode
+            other than ``"off"`` diagnoses the assembled matrix
+            (:func:`repro.robustness.health.diagnose_matrix`) and — on the
+            segmented path — quarantines and re-measures flagged entries
+            for up to ``health_rounds`` rounds of suffix replays.  The
+            warn/strict distinction is enforced by the caller (see
+            ``CLADO._prepare``); the engine only attaches the report as
+            ``result.health``.  ``health_policy`` overrides the detection
+            thresholds (advanced; defaults derive from ``health_rounds``).
         """
         if mode not in ("full", "diagonal", "block"):
             raise ValueError(f"unknown mode {mode!r}")
+        health_mode = self.health if health is None else health
+        if health_mode not in ("off", "warn", "strict"):
+            raise ValueError(f"unknown health mode {health_mode!r}")
+        rounds = self.health_rounds if health_rounds is None else health_rounds
+        if rounds < 0:
+            raise ValueError(f"health_rounds must be >= 0, got {rounds}")
+        policy = (
+            health_policy
+            or self.health_policy
+            or HealthPolicy(remeasure_rounds=rounds)
+        )
         layers = self.table.layers
         num_layers = len(layers)
         if mode == "block":
@@ -539,7 +580,8 @@ class SensitivityEngine:
         resolved = self._resolve_strategy(strategy)
         if resolved == "naive":
             return self._measure_naive(
-                x, y, mode, pair_list, batch_size, progress, symmetric_diag
+                x, y, mode, pair_list, batch_size, progress, symmetric_diag,
+                health=health_mode, health_policy=policy,
             )
         return self._measure_segmented(
             x,
@@ -566,6 +608,8 @@ class SensitivityEngine:
             fault_plan=resolve_fault_plan(
                 self.fault_plan if fault_plan is None else fault_plan
             ),
+            health=health_mode,
+            health_policy=policy,
         )
 
     # -- naive strategy: one full forward per evaluation -----------------------
@@ -578,6 +622,8 @@ class SensitivityEngine:
         batch_size: int,
         progress: Optional[Callable[[int, int], None]],
         symmetric_diag: bool,
+        health: str = "off",
+        health_policy: Optional[HealthPolicy] = None,
     ) -> SensitivityResult:
         t0 = telemetry.monotonic()
         bits = self.table.config.bits
@@ -619,6 +665,7 @@ class SensitivityEngine:
                 matrix[i * nb + m, i * nb + m] = omega_ii
                 tick()
 
+        quads = []  # (entry key, pair loss, base, single_i, single_j)
         for i, j in pair_list:
             for m, bm in enumerate(bits):
                 for n, bn in enumerate(bits):
@@ -628,7 +675,42 @@ class SensitivityEngine:
                     omega = pair_loss + base_loss - single[i, m] - single[j, n]
                     matrix[i * nb + m, j * nb + n] = omega
                     matrix[j * nb + n, i * nb + m] = omega
+                    quads.append(
+                        (
+                            _health.canonical_entry(i * nb + m, j * nb + n),
+                            pair_loss, base_loss, single[i, m], single[j, n],
+                        )
+                    )
                     tick()
+
+        extras: Dict[str, object] = {"strategy": "naive", "workers": 1}
+        health_report: Optional[GMatrixHealth] = None
+        if health != "off":
+            # The naive path has no prefix cache to replay from, so it is
+            # detection-only: quarantine-and-remeasure needs the segmented
+            # engine (the default whenever the model exposes segments).
+            policy = health_policy or HealthPolicy()
+            with telemetry.span("sweep.health"):
+                health_report = _health.diagnose_matrix(
+                    matrix,
+                    tuple(q[0] for q in quads),
+                    policy,
+                    cancellation=_health.cancellation_flags(
+                        quads, policy.cancellation_eps
+                    ),
+                )
+            health_report.quarantined = len(health_report.flagged)
+            _health.QUARANTINED.add(health_report.quarantined)
+            summary = health_report.to_dict(policy.max_listed)
+            extras["health"] = {
+                "pre": summary,
+                "post": summary,
+                "quarantined": health_report.quarantined,
+                "remeasured": 0,
+                "confirmed": 0,
+                "persistent": 0,
+                "rounds": 0,
+            }
 
         return SensitivityResult(
             matrix=matrix,
@@ -638,7 +720,8 @@ class SensitivityEngine:
             wall_time=telemetry.monotonic() - t0,
             mode=mode,
             bits=tuple(bits),
-            extras={"strategy": "naive", "workers": 1},
+            extras=extras,
+            health=health_report,
         )
 
     # -- segmented strategy: prefix caching + optional process fan-out ----------
@@ -660,6 +743,8 @@ class SensitivityEngine:
         group_deadline: Optional[float] = None,
         max_retries: int = DEFAULT_MAX_RETRIES,
         fault_plan: Optional[FaultPlan] = None,
+        health: str = "off",
+        health_policy: Optional[HealthPolicy] = None,
     ) -> SensitivityResult:
         t0 = telemetry.monotonic()
         bits = self.table.config.bits
@@ -786,6 +871,16 @@ class SensitivityEngine:
                 checkpoint.flush()
         t_evals = telemetry.monotonic() - t_eval_start
 
+        # Injected measurement corruption (round 0 = the sweep itself):
+        # outliers poison the loss dict *before* assembly so they cascade
+        # through ``single`` into every dependent finite difference, just
+        # like a real flaky measurement would.
+        if fault_plan is not None:
+            for index in sorted(losses):
+                delta = fault_plan.outlier_delta(index, 0)
+                if delta is not None:
+                    losses[index] += delta * (1.0 + abs(losses[index]))
+
         # Deterministic reassembly: entries depend only on plan indices, so
         # the matrix is independent of execution order and worker count.
         matrix = np.zeros((nvars, nvars))
@@ -805,6 +900,33 @@ class SensitivityEngine:
                 )
                 matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
                 matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
+
+        # Asymmetry corruption strikes one direction of an assembled entry
+        # (the assembler guarantees symmetry, so only post-assembly damage
+        # can break it — e.g. a bit flip in the stored matrix).
+        if fault_plan is not None:
+            for g in plan.groups:
+                for p in g.pairs:
+                    delta = fault_plan.asymmetry_delta(p.index, 0)
+                    if delta is not None:
+                        r, c = p.i * nb + p.m, p.j * nb + p.n
+                        matrix[r, c] += delta * (1.0 + abs(matrix[r, c]))
+
+        health_report: Optional[GMatrixHealth] = None
+        health_extras: Optional[Dict[str, object]] = None
+        if health != "off":
+            policy = health_policy or HealthPolicy()
+            with telemetry.span("sweep.health"):
+                health_report, health_extras = self._health_pass(
+                    plan, matrix, single, base_loss, losses,
+                    clean, batches, n, policy, fault_plan,
+                )
+            if checkpoint is not None:
+                # Accepted re-measurements supersede the checkpointed sweep
+                # values; persist them so a resume sees the healed losses.
+                for index, loss in losses.items():
+                    checkpoint.record(index, loss)
+                checkpoint.flush()
 
         wall = telemetry.monotonic() - t0
         num_batches = len(batches)
@@ -854,6 +976,8 @@ class SensitivityEngine:
             "time_total": wall,
             "evals_per_sec": executed / t_evals if t_evals > 0 else float("inf"),
         }
+        if health_extras is not None:
+            extras["health"] = health_extras
         return SensitivityResult(
             matrix=matrix,
             base_loss=base_loss,
@@ -863,7 +987,249 @@ class SensitivityEngine:
             mode=mode,
             bits=tuple(bits),
             extras=extras,
+            health=health_report,
         )
+
+    # -- measurement integrity: quarantine-and-remeasure ------------------------
+
+    def _health_pass(
+        self,
+        plan: EvalPlan,
+        matrix: np.ndarray,
+        single: np.ndarray,
+        base_loss: float,
+        losses: Dict[int, float],
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+        policy: HealthPolicy,
+        fault_plan: Optional[FaultPlan],
+    ) -> Tuple[GMatrixHealth, Dict[str, object]]:
+        """Diagnose the assembled Ĝ and quarantine-and-remeasure suspects.
+
+        Flagged entries are re-evaluated in place — suffix replays off the
+        *clean* prefix cache, not full sweeps — for up to
+        ``policy.remeasure_rounds`` rounds.  A re-measurement that agrees
+        with the entry's current value (bitwise for the deterministic
+        sequential path) confirms it; a disagreement replaces the value
+        and leaves the entry active so the replacement itself must repeat
+        before being trusted.  Diagonals are processed before pairs within
+        each round because a corrected single cascades into every
+        dependent pair difference.  Mutates ``matrix`` / ``single`` /
+        ``losses`` and returns the post-quarantine report plus the
+        JSON-safe ``extras["health"]`` summary.
+        """
+        nb = len(plan.bits)
+        diag_groups: Dict[int, GroupPlan] = {
+            g.i * nb + g.m: g for g in plan.groups
+        }
+        pair_specs: Dict[Tuple[int, int], EvalSpec] = {}
+        for g in plan.groups:
+            for p in g.pairs:
+                key = _health.canonical_entry(p.i * nb + p.m, p.j * nb + p.n)
+                pair_specs[key] = p
+
+        def quads() -> list:
+            return [
+                (key, losses[p.index], base_loss, single[p.i, p.m], single[p.j, p.n])
+                for key, p in pair_specs.items()
+            ]
+
+        report = _health.diagnose_matrix(
+            matrix,
+            tuple(pair_specs),
+            policy,
+            cancellation=_health.cancellation_flags(
+                quads(), policy.cancellation_eps
+            ),
+        )
+        report.quarantined = len(report.flagged)
+        _health.QUARANTINED.add(report.quarantined)
+        pre_summary = report.to_dict(policy.max_listed)
+
+        confirmed: set = set()
+        persistent: Dict[Tuple[int, int], float] = {}
+        samples: Dict[Tuple[int, int], List[float]] = {}
+        remeasured = 0
+        active = set(report.flagged)
+
+        def entry_specs(key: Tuple[int, int]) -> List[EvalSpec]:
+            r, c = key
+            if r == c:
+                g = diag_groups.get(r)
+                if g is None:
+                    return []
+                return [g.diag] + ([g.mirror] if g.mirror is not None else [])
+            p = pair_specs.get(key)
+            return [] if p is None else [p]
+
+        def recompute(key: Tuple[int, int]) -> None:
+            """Rewrite the entry (and its dependents) from current losses.
+
+            Always runs after a re-measurement — even a confirming one —
+            because asymmetry damage lives in the assembled matrix, not in
+            the loss dict, and a symmetric rewrite is what heals it.
+            """
+            r, c = key
+            if r == c:
+                g = diag_groups[r]
+                loss = losses[g.diag.index]
+                single[g.i, g.m] = loss
+                if g.mirror is not None:
+                    omega = loss + losses[g.mirror.index] - 2.0 * base_loss
+                else:
+                    omega = 2.0 * (loss - base_loss)
+                matrix[r, r] = omega
+                self._recompute_dependent_pairs(
+                    plan, matrix, single, base_loss, losses, g.i, g.m
+                )
+            else:
+                p = pair_specs[key]
+                omega = (
+                    losses[p.index] + base_loss - single[p.i, p.m] - single[p.j, p.n]
+                )
+                matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
+                matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
+
+        for round_ in range(1, policy.remeasure_rounds + 1):
+            if not active:
+                break
+            with telemetry.span("sweep.remeasure", round=round_):
+                # Diagonal suspects first (sort key: pairs compare False <
+                # True), so corrected singles propagate before the pair
+                # agreement checks of the same round.
+                for key in sorted(active, key=lambda rc: (rc[0] != rc[1], rc)):
+                    specs = entry_specs(key)
+                    if not specs:
+                        # Nothing measurable behind this entry (cannot
+                        # happen for plan-built matrices; defensive).
+                        active.discard(key)
+                        persistent[key] = 0.0
+                        continue
+                    samples.setdefault(key, [losses[specs[0].index]])
+                    agree = True
+                    for spec in specs:
+                        new = self._remeasure_loss(
+                            plan, spec, clean, batches, n, fault_plan, round_
+                        )
+                        remeasured += 1
+                        if not policy.agrees(new, losses[spec.index]):
+                            agree = False
+                            losses[spec.index] = new
+                    samples[key].append(losses[specs[0].index])
+                    recompute(key)
+                    if agree:
+                        confirmed.add(key)
+                        active.discard(key)
+
+        for key in sorted(active):
+            persistent[key] = float(np.var(np.asarray(samples.get(key, [0.0]))))
+        _health.REMEASURED.add(remeasured)
+        _health.CONFIRMED.add(len(confirmed))
+        _health.PERSISTENT.add(len(persistent))
+
+        # Re-diagnose the (possibly healed) matrix against the *frozen*
+        # initial robust scale: the quarantine must not be able to shift
+        # the reference distribution under its own feet.
+        final = _health.diagnose_matrix(
+            matrix,
+            tuple(pair_specs),
+            policy,
+            cancellation=_health.cancellation_flags(
+                quads(), policy.cancellation_eps
+            ),
+            scale=report.scale,
+            confirmed=frozenset(confirmed),
+        )
+        final.persistent = persistent
+        final.quarantined = report.quarantined
+        final.remeasured = remeasured
+        extras: Dict[str, object] = {
+            "pre": pre_summary,
+            "post": final.to_dict(policy.max_listed),
+            "quarantined": report.quarantined,
+            "remeasured": remeasured,
+            "confirmed": len(confirmed),
+            "persistent": len(persistent),
+            "rounds": policy.remeasure_rounds,
+        }
+        return final, extras
+
+    def _remeasure_loss(
+        self,
+        plan: EvalPlan,
+        spec: EvalSpec,
+        clean: PrefixCache,
+        batches: list,
+        n: int,
+        fault_plan: Optional[FaultPlan],
+        round_: int,
+    ) -> float:
+        """One quarantine re-evaluation of ``spec`` — a suffix replay.
+
+        Replays from the clean prefix cache at the earliest perturbed
+        segment, so the sequential path reproduces the sweep's loss
+        bitwise.  Scheduled ``outlier_loss`` faults re-corrupt the result
+        while their ``times`` budget lasts (``round_`` >= 1 here), which is
+        what makes persistent disagreers deterministic in chaos tests.
+        """
+        bits = plan.bits
+        if spec.kind == "pair":
+            start = min(plan.layer_segments[spec.i], plan.layer_segments[spec.j])
+            ctx = self.table.perturbed(
+                (spec.i, bits[spec.m]), (spec.j, bits[spec.n])
+            )
+        elif spec.kind == "mirror":
+            start = spec.start_segment
+            ctx = self.table.mirrored(spec.i, bits[spec.m])
+        else:
+            start = spec.start_segment
+            ctx = self.table.perturbed((spec.i, bits[spec.m]))
+        total = 0.0
+        work = 0
+        with ctx:
+            for b, (xb, yb) in enumerate(batches):
+                a = clean.activation(b, start)
+                a, replayed = self._replay(start, a)
+                work += replayed
+                total += self.criterion.forward(a, yb) * len(xb)
+        _FORWARD_EVALS.add()
+        _SEGMENT_FORWARDS.add(work)
+        loss = self._check_finite(total / n)
+        if fault_plan is not None:
+            delta = fault_plan.outlier_delta(spec.index, round_)
+            if delta is not None:
+                loss += delta * (1.0 + abs(loss))
+        return loss
+
+    def _recompute_dependent_pairs(
+        self,
+        plan: EvalPlan,
+        matrix: np.ndarray,
+        single: np.ndarray,
+        base_loss: float,
+        losses: Dict[int, float],
+        i: int,
+        m: int,
+    ) -> None:
+        """Rewrite every Ω entry whose finite difference reads ``single[i, m]``.
+
+        A corrected diagonal loss silently heals the pair entries it
+        poisoned — they were assembled from the same corrupted single, not
+        independently measured wrong.
+        """
+        nb = len(plan.bits)
+        for g in plan.groups:
+            for p in g.pairs:
+                if (p.i, p.m) == (i, m) or (p.j, p.n) == (i, m):
+                    omega = (
+                        losses[p.index]
+                        + base_loss
+                        - single[p.i, p.m]
+                        - single[p.j, p.n]
+                    )
+                    matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
+                    matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
 
     def _data_fingerprint(self, x: np.ndarray, y: np.ndarray, batch_size: int) -> str:
         """Ties a resume checkpoint to the exact data, weights, and batching."""

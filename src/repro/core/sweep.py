@@ -27,6 +27,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import zipfile
+import zlib
 from collections import OrderedDict, defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
@@ -342,6 +344,13 @@ _RECOMPUTED = telemetry.counter("sweep.recomputed_segments")
 _EVICTIONS = telemetry.counter("sweep.prefix_evictions")
 _CACHE_BYTES_PEAK = telemetry.gauge("sweep.prefix_cache_bytes_peak")
 
+#: Why a resume checkpoint was rejected — one counter per cause, so a
+#: fleet of "sweep restarted from scratch" reports can be split into
+#: plan/data drift (expected) vs damaged files (needs attention).
+_CKPT_FINGERPRINT = telemetry.counter("checkpoint.fingerprint_mismatch")
+_CKPT_TRUNCATED = telemetry.counter("checkpoint.truncated")
+_CKPT_CORRUPT = telemetry.counter("checkpoint.corrupt")
+
 
 class PrefixCache:
     """Per-batch activation checkpoints at a bounded set of segment cuts.
@@ -473,22 +482,41 @@ class SweepCheckpoint:
         self._flushes = 0
 
     def load(self) -> Dict[int, float]:
-        """Losses from a prior run of the same plan ({} when none usable)."""
+        """Losses from a prior run of the same plan ({} when none usable).
+
+        Every rejection is attributed to a cause before the empty dict
+        comes back — a fingerprint mismatch (plan/data/weights drifted; the
+        file is fine but belongs to a different sweep), a truncated zip
+        (killed mid-write or an injected ``corrupt_checkpoint`` fault), or
+        in-archive corruption (parseable container, damaged payload) — so
+        operators can tell expected drift from disk problems from the
+        ``checkpoint.*`` counters alone.
+        """
         if not os.path.exists(self.path):
             return {}
         try:
             with np.load(self.path, allow_pickle=False) as blob:
                 if str(blob["fingerprint"][()]) != self.fingerprint:
+                    _CKPT_FINGERPRINT.add()
                     return {}
                 indices = blob["indices"]
                 losses = blob["losses"]
-        # lint-allow-swallow: a corrupt/truncated checkpoint (killed
-        # mid-write, disk fault, injected corruption) must mean "restart
-        # the sweep", never "crash the resume" — the checkpoint is an
-        # optimization, not a source of truth.  Allowlisted in
-        # scripts/check_telemetry_lint.py rule 4.
+        except zipfile.BadZipFile:
+            # Killed mid-write / truncated on disk: the zip directory at
+            # the end of the file is gone.
+            _CKPT_TRUNCATED.add()
+            return {}
+        except (KeyError, ValueError, OSError, EOFError, zlib.error):
+            # The container parses but a member is missing or damaged.
+            _CKPT_CORRUPT.add()
+            return {}
         except Exception:
-            return {}  # corrupt/partial file: restart rather than crash
+            # Unanticipated decode failure: counted like any other
+            # corruption — a checkpoint is an optimization, never a reason
+            # to crash the resume (lint rule 4: the counter makes this
+            # broad handler legal).
+            _CKPT_CORRUPT.add()
+            return {}
         self._losses = {int(i): float(v) for i, v in zip(indices, losses)}
         return dict(self._losses)
 

@@ -1,6 +1,7 @@
 """Quantizers, calibration, sizing, and mixed-precision application."""
 
 from .export import (
+    CorruptArtifactError,
     PackedTensor,
     export_assignment,
     load_packed,
@@ -56,6 +57,7 @@ __all__ = [
     "export_assignment",
     "save_packed",
     "load_packed",
+    "CorruptArtifactError",
     "measure_macs",
     "bops_table",
     "assignment_bops",

@@ -6,10 +6,19 @@ half: encode each layer's weights as integer codes bit-packed into bytes,
 plus the affine decoding parameters, with an exact round-trip back to the
 fake-quantized floats.  The byte sizes realized here are what the Eq. 2
 size accounting promises (up to per-layer padding of the bit stream).
+
+Artifact integrity: :func:`save_packed` writes atomically (tmp file +
+``os.replace``, so a killed export never leaves a half-written artifact
+under the final name) and embeds a SHA-256 checksum over the payload;
+:func:`load_packed` verifies it and raises the typed
+:class:`CorruptArtifactError` on any damage — a deployment artifact that
+fails verification must never decode to silently-wrong weights.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Sequence
@@ -20,7 +29,18 @@ from .calibration import affine_minmax_params, mse_optimal_scale
 from .quantizers import _qrange
 
 __all__ = ["PackedTensor", "pack_tensor", "unpack_tensor", "export_assignment",
-           "save_packed", "load_packed"]
+           "save_packed", "load_packed", "CorruptArtifactError"]
+
+#: npz key carrying the payload checksum (no layer may collide with it).
+_CHECKSUM_KEY = "__checksum__"
+
+
+class CorruptArtifactError(RuntimeError):
+    """A packed-weights artifact failed integrity verification on load.
+
+    Raised for a missing/mismatched checksum, an unparseable container, or
+    damaged members — anything where decoding could return wrong weights.
+    """
 
 
 @dataclass
@@ -124,10 +144,34 @@ def export_assignment(
     }
 
 
+def _payload_checksum(payload: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over every array's key, dtype, shape, and raw bytes.
+
+    Key-sorted so the digest is independent of insertion order; dtype and
+    shape are included so reinterpretations of the same bytes don't
+    collide.
+    """
+    h = hashlib.sha256()
+    for key in sorted(payload):
+        arr = np.ascontiguousarray(payload[key])
+        h.update(key.encode("utf-8"))
+        h.update(str(arr.dtype).encode("ascii"))
+        h.update(repr(arr.shape).encode("ascii"))
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 def save_packed(path, packed: Dict[str, PackedTensor]) -> None:
-    """Serialize an exported assignment to an .npz file."""
-    payload = {}
+    """Serialize an exported assignment to an .npz file, atomically.
+
+    The archive (payload + checksum) is written to a sibling tmp file and
+    moved over ``path`` with ``os.replace``: readers only ever see either
+    the previous complete artifact or the new complete artifact.
+    """
+    payload: Dict[str, np.ndarray] = {}
     for name, tensor in packed.items():
+        if name == _CHECKSUM_KEY:
+            raise ValueError(f"layer name {name!r} is reserved")
         payload[f"{name}/codes"] = tensor.codes
         payload[f"{name}/meta"] = np.array(
             [tensor.bits, *tensor.shape], dtype=np.int64
@@ -137,21 +181,68 @@ def save_packed(path, packed: Dict[str, PackedTensor]) -> None:
         )
         payload[f"{name}/scale"] = tensor.scale
         payload[f"{name}/zero_point"] = tensor.zero_point
-    np.savez(path, **payload)
+    payload[_CHECKSUM_KEY] = np.array(_payload_checksum(payload))
+    # np.savez appends ".npz" to bare str/Path targets; resolve the final
+    # name first so tmp and target always live side by side.
+    final = os.fspath(path)
+    if not final.endswith(".npz"):
+        final += ".npz"
+    tmp = final + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
 
 
 def load_packed(path) -> Dict[str, PackedTensor]:
-    blob = np.load(path)
-    names = sorted({key.rsplit("/", 1)[0] for key in blob.files})
-    out: Dict[str, PackedTensor] = {}
-    for name in names:
-        meta = blob[f"{name}/meta"]
-        out[name] = PackedTensor(
-            codes=blob[f"{name}/codes"],
-            bits=int(meta[0]),
-            shape=tuple(int(v) for v in meta[1:]),
-            scheme="symmetric" if int(blob[f"{name}/scheme"][0]) == 0 else "affine",
-            scale=blob[f"{name}/scale"],
-            zero_point=blob[f"{name}/zero_point"],
+    """Load and verify a packed-weights artifact.
+
+    Raises :class:`CorruptArtifactError` when the container fails to
+    parse, the checksum is absent (artifact predates integrity stamping or
+    was tampered with), or the stored digest does not match the payload.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as blob:
+            arrays = {key: blob[key] for key in blob.files}
+    except FileNotFoundError:
+        raise
+    except Exception as exc:
+        raise CorruptArtifactError(
+            f"packed artifact {path!r} failed to parse: {exc}"
+        ) from exc
+    if _CHECKSUM_KEY not in arrays:
+        raise CorruptArtifactError(
+            f"packed artifact {path!r} carries no {_CHECKSUM_KEY} entry; "
+            "refusing to decode unverifiable weights"
         )
+    stored = str(arrays.pop(_CHECKSUM_KEY)[()])
+    actual = _payload_checksum(arrays)
+    if stored != actual:
+        raise CorruptArtifactError(
+            f"packed artifact {path!r} checksum mismatch: "
+            f"stored {stored[:16]}..., computed {actual[:16]}..."
+        )
+    names = sorted({key.rsplit("/", 1)[0] for key in arrays})
+    out: Dict[str, PackedTensor] = {}
+    try:
+        for name in names:
+            meta = arrays[f"{name}/meta"]
+            out[name] = PackedTensor(
+                codes=arrays[f"{name}/codes"],
+                bits=int(meta[0]),
+                shape=tuple(int(v) for v in meta[1:]),
+                scheme=(
+                    "symmetric" if int(arrays[f"{name}/scheme"][0]) == 0
+                    else "affine"
+                ),
+                scale=arrays[f"{name}/scale"],
+                zero_point=arrays[f"{name}/zero_point"],
+            )
+    except (KeyError, IndexError, ValueError) as exc:
+        raise CorruptArtifactError(
+            f"packed artifact {path!r} verified but failed to decode: {exc}"
+        ) from exc
     return out

@@ -5,10 +5,14 @@ solve its least-predictable one; this package holds what lets both
 survive partial failure instead of discarding hours of measurement:
 
 - typed failure vocabulary (:class:`SweepFailure`, :class:`DeadlineExpired`,
-  :class:`InjectedWorkerCrash`) shared by the sweep supervisor, the solver
-  ladder, and the CLI exit-code contract (see ``docs/robustness.md``);
+  :class:`InjectedWorkerCrash`, :class:`UnhealthyMatrixError`) shared by
+  the sweep supervisor, the solver ladder, and the CLI exit-code contract
+  (see ``docs/robustness.md``);
 - the deterministic fault-injection harness (:mod:`repro.robustness.faults`)
-  driving chaos tests and ``make chaos-smoke``.
+  driving chaos tests and ``make chaos-smoke``;
+- measurement integrity for Ĝ (:mod:`repro.robustness.health`): the
+  :class:`GMatrixHealth` detection report, the quarantine policy, and the
+  remeasure → symmetric-average → shrink → block-diagonal repair ladder.
 
 The recovery machinery itself lives where the work happens — the worker
 supervisor in :mod:`repro.core.sensitivity`, the degradation ladder in
@@ -25,6 +29,16 @@ from .faults import (
     FaultSpec,
     resolve_fault_plan,
 )
+from .health import (
+    REPAIR_RUNGS,
+    GMatrixHealth,
+    HealthPolicy,
+    UnhealthyMatrixError,
+    canonical_entry,
+    cancellation_flags,
+    diagnose_matrix,
+    repair_ladder,
+)
 
 __all__ = [
     "FAULT_EXIT_CODE",
@@ -32,6 +46,14 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "resolve_fault_plan",
+    "REPAIR_RUNGS",
+    "GMatrixHealth",
+    "HealthPolicy",
+    "UnhealthyMatrixError",
+    "canonical_entry",
+    "cancellation_flags",
+    "diagnose_matrix",
+    "repair_ladder",
     "SweepFailure",
     "DeadlineExpired",
     "InjectedWorkerCrash",

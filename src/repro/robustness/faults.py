@@ -23,13 +23,18 @@ JSON schema::
        {"kind": "worker_crash",      "at": 2, "times": 1},
        {"kind": "nonfinite_loss",    "at": 5, "times": 1},
        {"kind": "corrupt_checkpoint","at": 0, "times": 1},
+       {"kind": "outlier_loss",      "at": 7, "times": 1},
+       {"kind": "asymmetric_pair",   "at": 9, "times": 1},
        {"kind": "solver_deadline",   "rung": "bb"}
      ]}
 
-``at`` is the plan-group index for sweep faults and the flush ordinal for
+``at`` is the plan-group index for process faults (``worker_crash``,
+``nonfinite_loss``), the plan *spec* index for measurement faults
+(``outlier_loss``, ``asymmetric_pair``), and the flush ordinal for
 checkpoint faults; ``times`` is how many *attempts* fail before the fault
-stops firing (so bounded retries deterministically recover); ``rung``
-names the ladder rung whose deadline is forced to expire.
+stops firing (so bounded retries — and, for measurement faults, bounded
+quarantine re-measure rounds — deterministically recover); ``rung`` names
+the ladder rung whose deadline is forced to expire.
 
 Faults fire through the same code paths real failures take: an injected
 crash is an ``os._exit`` inside a fork worker (the supervisor sees a dead
@@ -63,6 +68,8 @@ FAULT_KINDS = (
     "nonfinite_loss",
     "corrupt_checkpoint",
     "solver_deadline",
+    "outlier_loss",
+    "asymmetric_pair",
 )
 
 #: Exit code an injected crash dies with — distinguishable from a real
@@ -158,6 +165,47 @@ class FaultPlan:
         # independent of global RNG state.
         state = (1103515245 * (self.seed + flush_ordinal + 1) + 12345) % (2**31)
         return 0.1 + 0.8 * (state / float(2**31))
+
+    # -- measurement faults ----------------------------------------------------
+    def outlier_delta(self, index: int, round_: int) -> Optional[float]:
+        """Relative corruption for the measured loss at plan spec ``index``.
+
+        ``None`` when no outlier is scheduled for this ``(index, round)``;
+        otherwise a seeded multiplier in ``±[4, 32)`` applied as
+        ``loss += delta * (1 + |loss|)`` — flagrantly inconsistent with the
+        rest of the matrix, but finite.  ``round_`` counts measurements of
+        the same spec (0 = the sweep itself, 1.. = quarantine re-measure
+        rounds), so ``times=N`` corrupts the first N measurements and a
+        re-measure budget of N rounds deterministically recovers.
+        """
+        if not self._fires("outlier_loss", index, round_):
+            return None
+        # Salted by round: a fault that poisons several measurements must
+        # poison them *differently*, or the quarantine would see the same
+        # corrupted value twice and wrongly confirm it as stable.
+        return self._seeded_delta(2 * index + 1 + 1000003 * round_)
+
+    def asymmetry_delta(self, index: int, round_: int) -> Optional[float]:
+        """Relative corruption for *one direction* of an assembled Ω entry.
+
+        Fires at assembly time against the pair spec at plan index
+        ``index``: ``G[r, c]`` is perturbed while ``G[c, r]`` keeps the
+        measured value, breaking the symmetry the assembler guarantees.
+        Re-measured entries are written symmetrically, so the fault only
+        corrupts assembly rounds (``round_`` semantics as above).
+        """
+        if not self._fires("asymmetric_pair", index, round_):
+            return None
+        return self._seeded_delta(3 * index + 2 + 1000003 * round_)
+
+    def _seeded_delta(self, salt: int) -> float:
+        """Seeded signed magnitude in ``±[4, 32)`` (same LCG family as
+        :meth:`checkpoint_truncation`: deterministic, import-cheap,
+        independent of global RNG state)."""
+        state = (1103515245 * (self.seed * 2654435761 + salt + 1) + 12345) % (2**31)
+        magnitude = 4.0 + 28.0 * (state / float(2**31))
+        sign = 1.0 if state & 1 else -1.0
+        return sign * magnitude
 
     # -- solver faults ---------------------------------------------------------
     def solver_expired(self, rung: str) -> bool:

@@ -284,6 +284,98 @@ class TestQATNonFinite:
             )
 
 
+def _pair_spec_index(setup):
+    """A real pair-spec index of the deterministic plan for ``setup``."""
+    from repro.core.sweep import build_eval_plan
+
+    model, layers, table, _x, _y = setup
+    probe = SensitivityEngine(model, table)
+    segments, layer_segments = probe._segment_map()
+    num_layers = len(layers)
+    pair_list = [
+        (i, j) for i in range(num_layers) for j in range(i + 1, num_layers)
+    ]
+    plan = build_eval_plan(
+        num_layers, (4, 8), pair_list, layer_segments, len(segments), False, "full"
+    )
+    return next(p.index for g in plan.groups for p in g.pairs)
+
+
+class TestMeasurementFaults:
+    """The PR-5 fault kinds: corrupted *values* (not crashes) that only the
+    health pass can see.  Deep quarantine/repair coverage lives in
+    test_matrix_health.py; here we pin the fault-plan semantics."""
+
+    def test_new_kinds_accepted(self):
+        FaultSpec("outlier_loss", at=3)
+        FaultSpec("asymmetric_pair", at=7, times=2)
+
+    def test_new_kinds_roundtrip_json(self):
+        plan = FaultPlan(
+            seed=4,
+            faults=(
+                FaultSpec("outlier_loss", at=3, times=2),
+                FaultSpec("asymmetric_pair", at=7),
+            ),
+        )
+        assert FaultPlan.parse(plan.to_json()) == plan
+
+    def test_deltas_are_round_salted(self):
+        """A fault poisoning several measurements must poison them
+        *differently* — identical corruption would agree with itself on
+        re-measure and be wrongly confirmed as stable."""
+        plan = FaultPlan(
+            seed=4,
+            faults=(
+                FaultSpec("outlier_loss", at=3, times=3),
+                FaultSpec("asymmetric_pair", at=7, times=3),
+            ),
+        )
+        outlier = [plan.outlier_delta(3, r) for r in range(3)]
+        asym = [plan.asymmetry_delta(7, r) for r in range(3)]
+        assert len(set(outlier)) == 3
+        assert len(set(asym)) == 3
+        assert plan.outlier_delta(3, 3) is None  # budget consumed
+        assert plan.outlier_delta(4, 0) is None  # other specs untouched
+
+    def test_outlier_corrupts_matrix_without_health_pass(self, fault_mlp):
+        clean = _measure(fault_mlp, workers=1, eval_batch_k=1)
+        plan = FaultPlan(seed=4, faults=(FaultSpec("outlier_loss", at=3),))
+        injected = _measure(fault_mlp, workers=1, fault_plan=plan, eval_batch_k=1)
+        assert not np.array_equal(clean.matrix, injected.matrix)
+
+    def test_outlier_repaired_bitwise_with_health_pass(self, fault_mlp):
+        clean = _measure(fault_mlp, workers=1, eval_batch_k=1)
+        plan = FaultPlan(seed=4, faults=(FaultSpec("outlier_loss", at=3),))
+        injected = _measure(
+            fault_mlp, workers=1, fault_plan=plan, eval_batch_k=1, health="warn"
+        )
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.health.healthy
+        assert injected.health.quarantined >= 1
+
+    def test_asymmetric_pair_repaired_bitwise(self, fault_mlp):
+        clean = _measure(fault_mlp, workers=1, eval_batch_k=1)
+        plan = FaultPlan(
+            seed=4,
+            faults=(FaultSpec("asymmetric_pair", at=_pair_spec_index(fault_mlp)),),
+        )
+        injected = _measure(
+            fault_mlp, workers=1, fault_plan=plan, eval_batch_k=1, health="warn"
+        )
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.health.healthy
+
+    def test_env_activation_with_health(self, fault_mlp, monkeypatch):
+        """``REPRO_FAULT_PLAN`` drives measurement faults too."""
+        clean = _measure(fault_mlp, workers=1, eval_batch_k=1)
+        plan = FaultPlan(seed=4, faults=(FaultSpec("outlier_loss", at=3),))
+        monkeypatch.setenv("REPRO_FAULT_PLAN", plan.to_json())
+        injected = _measure(fault_mlp, workers=1, eval_batch_k=1, health="warn")
+        np.testing.assert_array_equal(clean.matrix, injected.matrix)
+        assert injected.extras["injected_fault_plan"] == plan.describe()
+
+
 class TestFaultPlanActivation:
     def test_roundtrip_json(self):
         plan = FaultPlan(

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.quant import (
+    CorruptArtifactError,
     PackedTensor,
     export_assignment,
     load_packed,
@@ -118,6 +119,107 @@ class TestSerialization:
     def test_export_length_mismatch(self):
         with pytest.raises(ValueError):
             export_assignment([], [4])
+
+
+def _small_packed(seed=4):
+    rng = np.random.default_rng(seed)
+
+    class _L:
+        def __init__(self, name, w):
+            self.name = name
+
+            class _P:
+                pass
+
+            self.weight = _P()
+            self.weight.data = w
+
+    layers = [
+        _L("conv1", rng.normal(size=(4, 2, 3, 3))),
+        _L("fc", rng.normal(size=(8, 16))),
+    ]
+    return export_assignment(layers, [2, 8], scheme="affine")
+
+
+class TestArtifactIntegrity:
+    """save/load must be atomic and the payload checksum-verified."""
+
+    def test_checksum_embedded_and_verified(self, tmp_path):
+        from repro.quant.export import _CHECKSUM_KEY
+
+        path = tmp_path / "weights.npz"
+        save_packed(path, _small_packed())
+        with np.load(path, allow_pickle=False) as blob:
+            assert _CHECKSUM_KEY in blob.files
+        loaded = load_packed(path)
+        assert set(loaded) == {"conv1", "fc"}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_packed(path, _small_packed())
+        leftovers = [p.name for p in tmp_path.iterdir() if p.name != "weights.npz"]
+        assert leftovers == []
+
+    def test_save_appends_npz_suffix(self, tmp_path):
+        # np.savez appended ".npz" to bare paths; the atomic writer must
+        # keep that contract so existing callers find their files.
+        save_packed(tmp_path / "weights", _small_packed())
+        assert (tmp_path / "weights.npz").exists()
+        assert load_packed(tmp_path / "weights.npz")
+
+    def test_truncated_artifact_raises_typed(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_packed(path, _small_packed())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(CorruptArtifactError, match="failed to parse"):
+            load_packed(path)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        save_packed(path, _small_packed())
+        data = bytearray(path.read_bytes())
+        # Flip one bit in the middle of the archive payload.  npz members
+        # are STORED (uncompressed), so the flip lands in array bytes and
+        # must be caught by the checksum, not by the zip layer.
+        idx = len(data) // 2
+        data[idx] ^= 0x10
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptArtifactError):
+            load_packed(path)
+
+    def test_missing_checksum_refused(self, tmp_path):
+        # An unstamped artifact (or one with the stamp stripped) must be
+        # refused rather than decoded on faith.
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **{"fc/codes": np.zeros(4, dtype=np.uint8)})
+        with pytest.raises(CorruptArtifactError, match="no __checksum__"):
+            load_packed(path)
+
+    def test_reserved_name_rejected(self, tmp_path):
+        packed = _small_packed()
+        packed["__checksum__"] = packed.pop("fc")
+        with pytest.raises(ValueError, match="reserved"):
+            save_packed(tmp_path / "weights.npz", packed)
+
+    def test_overwrite_preserves_old_artifact_on_failure(self, tmp_path, monkeypatch):
+        path = tmp_path / "weights.npz"
+        save_packed(path, _small_packed())
+        before = path.read_bytes()
+
+        def _dies_mid_write(fh, **payload):
+            fh.write(b"partial garbage")
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr("numpy.savez", _dies_mid_write)
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_packed(path, _small_packed())
+        # The half-written tmp file must not have replaced the artifact,
+        # and must not be left lying around either.
+        assert path.read_bytes() == before
+        assert not (tmp_path / "weights.npz.tmp").exists()
+        monkeypatch.undo()
+        assert load_packed(path)
 
 
 class TestRealModelExport:
