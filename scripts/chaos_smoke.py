@@ -15,7 +15,14 @@ as ``make chaos-smoke`` inside the default ``make`` target:
    assignment within its deadline on a problem sized from every zoo
    model even when branch-and-bound's budget is forced to expire, and
    the winning rung plus the injected faults land in the run manifest.
-4. **Measurement integrity** — seeded ``outlier_loss`` +
+4. **Sharded-sweep equivalence** — a sweep split into 4 crash-tolerant
+   shards on 3 spawned worker processes, with all four distributed fault
+   kinds injected (``shard_loss``, ``stale_lease``,
+   ``duplicate_completion``, ``torn_partial``), produces a Ĝ **bitwise
+   identical** to the single-process sweep on **every zoo model**, and
+   every recovery path (lease expiry, quarantine, duplicate discard,
+   worker respawn) is visible in the result extras.
+5. **Measurement integrity** — seeded ``outlier_loss`` +
    ``asymmetric_pair`` corruption of a zoo-model sweep is detected,
    quarantined, and re-measured; the repaired run's sensitivity matrix
    and final bit assignment match the clean run's **exactly**, the health
@@ -196,8 +203,76 @@ def ladder_chaos(tmp: Path) -> None:
         check(f"manifest records rung + injected fault on {name}", recorded)
 
 
+def distrib_chaos(tmp: Path) -> None:
+    """Check 4: sharded sweeps survive every fault kind, bitwise.
+
+    Each zoo model runs once single-process and once sharded across 4
+    shards on 3 spawned workers with one fault of every distributed kind
+    scheduled (worker loss on shard 0's first lease, a stalled heartbeat
+    on shard 1's, a duplicate completion on shard 2's, a torn partial on
+    shard 3's).  The merged matrix must equal the reference bitwise and
+    the recovery must be attributed in the extras.
+    """
+    rng = np.random.default_rng(23)
+    x = rng.normal(size=(8, 3, 32, 32)).astype(np.float32)
+    y = rng.integers(0, 10, size=8)
+    plan = FaultPlan(
+        seed=7,
+        faults=(
+            FaultSpec("shard_loss", at=0, times=1),
+            FaultSpec("stale_lease", at=1, times=1),
+            FaultSpec("duplicate_completion", at=2, times=1),
+            FaultSpec("torn_partial", at=3, times=1),
+        ),
+    )
+    for name in sorted(MODEL_REGISTRY):
+        mode = "block" if name == "resnet_s20" else "diagonal"
+
+        def run(shards=0, fault_plan=None, spool=None):
+            model = build_model(name, num_classes=10)
+            layers = quantizable_layers(model, name)
+            table = QuantizedWeightTable(layers, QuantConfig(bits=(2, 4, 8)))
+            engine = SensitivityEngine(model, table, strategy="segmented")
+            return engine.measure(
+                x, y, mode=mode, batch_size=8,
+                shards=shards, num_workers=3, lease_ttl=1.0,
+                spool_dir=spool, fault_plan=fault_plan,
+                model_spec={
+                    "import": "repro.models.registry:build_model",
+                    "kwargs": {"name": name, "num_classes": 10},
+                },
+            )
+
+        reference = run()
+        sharded = run(
+            shards=4, fault_plan=plan, spool=str(tmp / f"spool-{name}")
+        )
+        e = sharded.extras
+        check(
+            f"sharded sweep bitwise equals single-process on {name} ({mode})",
+            np.array_equal(reference.matrix, sharded.matrix)
+            and np.array_equal(
+                reference.single_losses, sharded.single_losses
+            )
+            and reference.base_loss == sharded.base_loss,
+            f"parts={e.get('merged_parts')}",
+        )
+        check(
+            f"every recovery path attributed in extras on {name}",
+            e.get("strategy") == "distributed"
+            and e.get("leases_expired", 0) >= 1
+            and e.get("parts_quarantined", 0) >= 1
+            and e.get("duplicate_completions", 0) >= 1
+            and e.get("workers_respawned", 0) >= 1,
+            f"expired={e.get('leases_expired')} "
+            f"quarantined={e.get('parts_quarantined')} "
+            f"dups={e.get('duplicate_completions')} "
+            f"respawned={e.get('workers_respawned')}",
+        )
+
+
 def measurement_chaos(tmp: Path) -> None:
-    """Check 4: corrupted measurements are caught and fully repaired."""
+    """Check 5: corrupted measurements are caught and fully repaired."""
     from repro.core import CLADO, SensitivityConfig, SolverConfig
     from repro.core.sweep import build_eval_plan
     from repro.quant import QuantConfig as _QuantConfig
@@ -303,7 +378,7 @@ def measurement_chaos(tmp: Path) -> None:
 
 
 def cli_health_chaos(tmp: Path) -> None:
-    """Check 4 (CLI surface): ``--health strict`` maps refusal to exit 5."""
+    """Check 5 (CLI surface): ``--health strict`` maps refusal to exit 5."""
     import os
 
     from repro import cli
@@ -354,6 +429,7 @@ def main() -> int:
         tmp = Path(tmpdir)
         sweep_chaos(tmp)
         ladder_chaos(tmp)
+        distrib_chaos(tmp)
         measurement_chaos(tmp)
         cli_health_chaos(tmp)
     failures = [(name, detail) for name, ok, detail in CHECKS if not ok]

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST lint: enforce the telemetry conventions inside ``src/repro/``.
 
-Five rules (see docs/observability.md and docs/robustness.md):
+Six rules (see docs/observability.md and docs/robustness.md):
 
 1. No ``time.time()`` — wall-clock arithmetic must use
    ``telemetry.monotonic()`` (an alias of ``time.perf_counter``) so spans
@@ -30,6 +30,18 @@ Five rules (see docs/observability.md and docs/robustness.md):
    SVD fallback (and the ``psd.fallback`` counter) covers every caller;
    a direct call elsewhere would crash on the same near-defective
    matrices the fallback exists to survive.
+6. No unbounded blocking waits — zero-argument ``.recv()`` and
+   ``.join()``, ``.wait(...)`` without a ``timeout=`` keyword, and
+   ``.poll(None)`` are rejected.  A coordinator or supervisor parked on
+   an indefinite wait turns a crashed peer into a hung process, which is
+   exactly the failure mode the lease/reaper protocol
+   (``repro.distrib``) and the sweep supervisor exist to survive; every
+   blocking call must carry a timeout so liveness decisions stay with
+   the caller.  Zero-argument ``.poll()`` (``subprocess.Popen.poll`` is
+   non-blocking) and string/path ``.join(parts)`` are fine.  A site
+   where blocking forever is the designed behaviour (e.g. an idle
+   worker parked on its task pipe whose parent owns liveness) carries a
+   ``lint-allow-blocking`` comment just above explaining why.
 
 Exit status 0 when clean, 1 with a ``path:line: message`` listing per
 violation.  Run via ``make lint`` (part of the default ``make`` target).
@@ -68,6 +80,9 @@ ALLOWED_EIGH = {TARGET / "core" / "psd.py"}
 #: Marker comment required (on or just above the handler line) at every
 #: allowlisted swallow site.
 SWALLOW_MARKER = "lint-allow-swallow"
+
+#: Marker comment sanctioning an intentionally unbounded blocking call.
+BLOCKING_MARKER = "lint-allow-blocking"
 
 
 def _is_hot_path(func: ast.AST) -> bool:
@@ -168,8 +183,49 @@ def _swallow_violations(path: Path, tree: ast.AST, source_lines):
         )
 
 
+def _blocking_violations(tree: ast.AST, source_lines):
+    """Rule 6: unbounded blocking waits (no timeout, no escape marker)."""
+
+    def marked(lineno: int) -> bool:
+        window = source_lines[max(0, lineno - 8) : lineno]
+        return any(BLOCKING_MARKER in line for line in window)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        if not isinstance(fn, ast.Attribute):
+            continue
+        has_timeout_kwarg = any(kw.arg == "timeout" for kw in node.keywords)
+        message = None
+        if fn.attr == "recv" and not node.args and not node.keywords:
+            message = (
+                "unbounded .recv(); poll the connection with a timeout "
+                "first, or mark the site"
+            )
+        elif fn.attr == "join" and not node.args and not has_timeout_kwarg:
+            # str.join/path-join always take the parts argument, so a
+            # zero-argument join is a thread/process join without bound.
+            message = "unbounded .join(); pass timeout=..."
+        elif fn.attr == "wait" and not has_timeout_kwarg:
+            message = (
+                "unbounded .wait(); pass an explicit timeout=... keyword"
+            )
+        elif fn.attr == "poll" and any(
+            isinstance(a, ast.Constant) and a.value is None for a in node.args
+        ):
+            message = "poll(None) blocks forever; pass a finite timeout"
+        if message is not None and not marked(node.lineno):
+            yield (
+                node.lineno,
+                f"{message} (a designed-forever block needs a "
+                f"'{BLOCKING_MARKER}' comment)",
+            )
+
+
 def _violations(path: Path, tree: ast.AST, source_lines):
     yield from _swallow_violations(path, tree, source_lines)
+    yield from _blocking_violations(tree, source_lines)
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_hot_path(
             node

@@ -75,6 +75,11 @@ class SensitivityConfig:
     health: str = "off"  # "off" | "warn" | "strict"
     health_rounds: int = 2  # quarantine re-measure rounds
     health_repair: bool = True  # structural repair ladder after quarantine
+    # Sharded execution (see docs/distrib.md); 0/1 shards = single process
+    shards: int = 0
+    lease_ttl: Optional[float] = None  # None = DEFAULT_LEASE_TTL
+    spool_dir: Optional[str] = None  # None = private temp spool
+    model_spec: Optional[dict] = None  # worker-side model builder spec
     # HAWQ (Hutchinson trace estimation)
     probes: int = 8
     seed: int = 0
@@ -101,6 +106,10 @@ class SensitivityConfig:
             "fault_plan": self.fault_plan,
             "health": self.health,
             "health_rounds": self.health_rounds,
+            "shards": self.shards,
+            "lease_ttl": self.lease_ttl,
+            "spool_dir": self.spool_dir,
+            "model_spec": self.model_spec,
         }
 
     def with_overrides(self, **overrides) -> "SensitivityConfig":

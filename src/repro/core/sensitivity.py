@@ -77,15 +77,25 @@ from .sweep import (
 __all__ = [
     "SensitivityResult",
     "SensitivityEngine",
+    "ShardSession",
     "block_id_from_name",
+    "build_pair_list",
+    "assemble_from_losses",
     "auto_eval_batch_k",
     "auto_waste_factor",
     "DEFAULT_MAX_RETRIES",
+    "DEFAULT_LEASE_TTL",
 ]
 
 #: Times a failed group is re-queued (to surviving workers, then serially)
 #: before the sweep gives up with :class:`SweepFailure`.
 DEFAULT_MAX_RETRIES = 2
+
+#: Wall-clock seconds a sharded-sweep lease may go without a heartbeat
+#: before the coordinator's reaper revokes it (see ``repro.distrib``).
+#: Lives here rather than in ``repro.distrib`` so config layers can name
+#: the default without importing the (subprocess-spawning) subsystem.
+DEFAULT_LEASE_TTL = 30.0
 
 #: Default number of activation checkpoints each prefix cache may hold.
 DEFAULT_CACHE_BUDGET = 16
@@ -232,6 +242,97 @@ def block_id_from_name(name: str) -> str:
     return name
 
 
+def build_pair_list(
+    layers: Sequence,
+    mode: str,
+    blocks: Optional[Sequence[str]] = None,
+) -> List[Tuple[int, int]]:
+    """The deterministic ``(i, j)`` cross-term list for a sweep ``mode``.
+
+    Shared by :meth:`SensitivityEngine.measure` and the sharded-sweep
+    protocol (``repro.distrib``): coordinator and spawned workers must
+    derive the identical pair list (hence the identical
+    :class:`~repro.core.sweep.EvalPlan`) from the same layer set, or the
+    plan fingerprints — and the shard merge — disagree.
+    """
+    if mode not in ("full", "diagonal", "block"):
+        raise ValueError(f"unknown mode {mode!r}")
+    num_layers = len(layers)
+    if mode == "block":
+        if blocks is None:
+            blocks = [block_id_from_name(layer.name) for layer in layers]
+        if len(blocks) != num_layers:
+            raise ValueError("blocks length mismatch")
+    pair_list: List[Tuple[int, int]] = []
+    if mode != "diagonal":
+        for i in range(num_layers):
+            for j in range(i + 1, num_layers):
+                if mode == "block" and blocks[i] != blocks[j]:
+                    continue
+                pair_list.append((i, j))
+    return pair_list
+
+
+def assemble_from_losses(
+    plan: EvalPlan,
+    losses: Dict[int, float],
+    base_loss: float,
+    fault_plan: Optional[FaultPlan] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Assemble ``(matrix, single)`` from plan-indexed losses.
+
+    Deterministic reassembly: entries depend only on plan indices, so the
+    matrix is independent of execution order, worker count, and of whether
+    the losses came from one process or were merged from shard partials —
+    the property the distributed sweep's bitwise-equality gate rests on.
+
+    ``fault_plan`` applies the measurement-corruption faults exactly as
+    the single-process sweep does: ``outlier_loss`` poisons the loss dict
+    (in plan-index order) *before* assembly so corrupted singles cascade
+    into every dependent finite difference, and ``asymmetric_pair``
+    strikes one direction of an assembled entry afterwards.  Mutates
+    ``losses`` in place for the outlier case (callers checkpoint the
+    poisoned values, matching the in-process engine).
+    """
+    nb = len(plan.bits)
+    nvars = plan.num_layers * nb
+    if fault_plan is not None:
+        for index in sorted(losses):
+            delta = fault_plan.outlier_delta(index, 0)
+            if delta is not None:
+                losses[index] += delta * (1.0 + abs(losses[index]))
+
+    matrix = np.zeros((nvars, nvars))
+    single = np.zeros((plan.num_layers, nb))
+    for g in plan.groups:
+        loss = losses[g.diag.index]
+        single[g.i, g.m] = loss
+        if g.mirror is not None:
+            omega_ii = loss + losses[g.mirror.index] - 2.0 * base_loss
+        else:
+            omega_ii = 2.0 * (loss - base_loss)
+        matrix[g.i * nb + g.m, g.i * nb + g.m] = omega_ii
+    for g in plan.groups:
+        for p in g.pairs:
+            omega = (
+                losses[p.index] + base_loss - single[p.i, p.m] - single[p.j, p.n]
+            )
+            matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
+            matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
+
+    # Asymmetry corruption strikes one direction of an assembled entry
+    # (the assembler guarantees symmetry, so only post-assembly damage
+    # can break it — e.g. a bit flip in the stored matrix).
+    if fault_plan is not None:
+        for g in plan.groups:
+            for p in g.pairs:
+                delta = fault_plan.asymmetry_delta(p.index, 0)
+                if delta is not None:
+                    r, c = p.i * nb + p.m, p.j * nb + p.n
+                    matrix[r, c] += delta * (1.0 + abs(matrix[r, c]))
+    return matrix, single
+
+
 # Worker state for fork-based fan-out: set in the parent immediately before
 # the workers are forked, inherited copy-on-write by each child.  The
 # quantized-weight table and prefix-cache arrays are shared pages; each
@@ -254,6 +355,8 @@ def _supervised_worker_loop(conn) -> None:
     pid = os.getpid()
     while True:
         try:
+            # lint-allow-blocking: idle workers block on the task pipe by
+            # design; the parent owns liveness (EOF/terminate on shutdown).
             task = conn.recv()
         except (EOFError, OSError):
             return
@@ -509,6 +612,10 @@ class SensitivityEngine:
         health: Optional[str] = None,
         health_rounds: Optional[int] = None,
         health_policy: Optional[HealthPolicy] = None,
+        shards: int = 0,
+        lease_ttl: Optional[float] = None,
+        spool_dir: Optional[str] = None,
+        model_spec: Optional[dict] = None,
     ) -> SensitivityResult:
         """Measure the sensitivity matrix on the set ``(x, y)``.
 
@@ -547,6 +654,16 @@ class SensitivityEngine:
             ``CLADO._prepare``); the engine only attaches the report as
             ``result.health``.  ``health_policy`` overrides the detection
             thresholds (advanced; defaults derive from ``health_rounds``).
+        shards / lease_ttl / spool_dir / model_spec:
+            ``shards > 1`` routes the sweep through the crash-tolerant
+            work-queue protocol of :mod:`repro.distrib`: the plan's groups
+            are partitioned into ``shards`` shards executed by spawned
+            worker processes (``num_workers`` of them) that rebuild the
+            model from ``model_spec`` (an ``{"import": "module:callable",
+            "kwargs": {...}}`` builder spec) plus serialized weights/data
+            in ``spool_dir``.  The merged matrix is bitwise identical to
+            the single-process sweep.  Requires the segmented strategy
+            and a ``model_spec``; see ``docs/distrib.md``.
         """
         if mode not in ("full", "diagonal", "block"):
             raise ValueError(f"unknown mode {mode!r}")
@@ -561,21 +678,42 @@ class SensitivityEngine:
             or self.health_policy
             or HealthPolicy(remeasure_rounds=rounds)
         )
-        layers = self.table.layers
-        num_layers = len(layers)
-        if mode == "block":
-            if blocks is None:
-                blocks = [block_id_from_name(layer.name) for layer in layers]
-            if len(blocks) != num_layers:
-                raise ValueError("blocks length mismatch")
+        pair_list = build_pair_list(self.table.layers, mode, blocks)
 
-        pair_list: List[Tuple[int, int]] = []
-        if mode != "diagonal":
-            for i in range(num_layers):
-                for j in range(i + 1, num_layers):
-                    if mode == "block" and blocks[i] != blocks[j]:
-                        continue
-                    pair_list.append((i, j))
+        if shards and shards > 1:
+            from ..distrib import measure_sharded
+
+            if self._resolve_strategy(strategy) != "segmented":
+                raise RuntimeError(
+                    "sharded sweeps require the segmented strategy (the "
+                    "shard protocol is keyed by the segmented eval plan)"
+                )
+            return measure_sharded(
+                self,
+                x,
+                y,
+                mode=mode,
+                blocks=blocks,
+                batch_size=batch_size,
+                symmetric_diag=symmetric_diag,
+                shards=shards,
+                num_workers=self._resolve_workers(num_workers),
+                lease_ttl=DEFAULT_LEASE_TTL if lease_ttl is None else lease_ttl,
+                spool_dir=spool_dir,
+                model_spec=model_spec,
+                eval_batch_k=self._resolve_eval_batch_k(eval_batch_k, x, batch_size),
+                cache_budget=(
+                    self.cache_budget if cache_budget is None else cache_budget
+                ),
+                cache_bytes=self.cache_bytes if cache_bytes is None else cache_bytes,
+                max_retries=self.max_retries if max_retries is None else max_retries,
+                fault_plan=resolve_fault_plan(
+                    self.fault_plan if fault_plan is None else fault_plan
+                ),
+                health=health_mode,
+                health_policy=policy,
+                progress=progress,
+            )
 
         resolved = self._resolve_strategy(strategy)
         if resolved == "naive":
@@ -871,46 +1009,9 @@ class SensitivityEngine:
                 checkpoint.flush()
         t_evals = telemetry.monotonic() - t_eval_start
 
-        # Injected measurement corruption (round 0 = the sweep itself):
-        # outliers poison the loss dict *before* assembly so they cascade
-        # through ``single`` into every dependent finite difference, just
-        # like a real flaky measurement would.
-        if fault_plan is not None:
-            for index in sorted(losses):
-                delta = fault_plan.outlier_delta(index, 0)
-                if delta is not None:
-                    losses[index] += delta * (1.0 + abs(losses[index]))
-
-        # Deterministic reassembly: entries depend only on plan indices, so
-        # the matrix is independent of execution order and worker count.
-        matrix = np.zeros((nvars, nvars))
-        single = np.zeros((num_layers, nb))
-        for g in plan.groups:
-            loss = losses[g.diag.index]
-            single[g.i, g.m] = loss
-            if g.mirror is not None:
-                omega_ii = loss + losses[g.mirror.index] - 2.0 * base_loss
-            else:
-                omega_ii = 2.0 * (loss - base_loss)
-            matrix[g.i * nb + g.m, g.i * nb + g.m] = omega_ii
-        for g in plan.groups:
-            for p in g.pairs:
-                omega = (
-                    losses[p.index] + base_loss - single[p.i, p.m] - single[p.j, p.n]
-                )
-                matrix[p.i * nb + p.m, p.j * nb + p.n] = omega
-                matrix[p.j * nb + p.n, p.i * nb + p.m] = omega
-
-        # Asymmetry corruption strikes one direction of an assembled entry
-        # (the assembler guarantees symmetry, so only post-assembly damage
-        # can break it — e.g. a bit flip in the stored matrix).
-        if fault_plan is not None:
-            for g in plan.groups:
-                for p in g.pairs:
-                    delta = fault_plan.asymmetry_delta(p.index, 0)
-                    if delta is not None:
-                        r, c = p.i * nb + p.m, p.j * nb + p.n
-                        matrix[r, c] += delta * (1.0 + abs(matrix[r, c]))
+        # Injected measurement corruption (round 0 = the sweep itself) and
+        # deterministic reassembly, shared with the distributed merge path.
+        matrix, single = assemble_from_losses(plan, losses, base_loss, fault_plan)
 
         health_report: Optional[GMatrixHealth] = None
         health_extras: Optional[Dict[str, object]] = None
@@ -1392,6 +1493,8 @@ class SensitivityEngine:
                 for conn in ready:
                     worker = by_conn[conn]
                     try:
+                        # lint-allow-blocking: recv only on pipes wait()
+                        # already reported ready — it cannot block.
                         kind, gi, payload, pid, delta = conn.recv()
                     except (EOFError, OSError):
                         # Exit-code watch: the pipe died with a group in
@@ -1732,3 +1835,133 @@ class SensitivityEngine:
         ]
         # One stacked dispatch per (segment, batch), whatever the width.
         return results, (nseg - cut) * len(batches)
+
+
+class ShardSession:
+    """One process's standing sweep state for the sharded protocol.
+
+    Both sides of :mod:`repro.distrib` open one: the coordinator to run
+    the clean prefix pass (base loss), fingerprint the job, and assemble
+    the merged losses; each spawned worker to execute its claimed shards'
+    plan groups.  Because plan construction, the prefix pass, and group
+    execution are deterministic functions of (model weights, data,
+    knobs), every session over the same job measures bitwise-identical
+    losses — which is what makes shard merges idempotent and the final
+    matrix bitwise-equal to the single-process sweep.
+
+    The session requires the segmented strategy and pins the engine's
+    active execution knobs for the lifetime of the object; do not
+    interleave with other ``measure`` calls on the same engine.
+    """
+
+    def __init__(
+        self,
+        engine: SensitivityEngine,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        mode: str,
+        blocks: Optional[Sequence[str]] = None,
+        batch_size: int = 256,
+        symmetric_diag: bool = False,
+        eval_batch_k: int = 1,
+        cache_budget: Optional[int] = DEFAULT_CACHE_BUDGET,
+        cache_bytes: Optional[int] = None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.engine = engine
+        self.x = x
+        self.y = y
+        self.batch_size = int(batch_size)
+        self.mode = mode
+        if engine._resolve_strategy("segmented") != "segmented":
+            raise RuntimeError("shard sessions require the segmented strategy")
+        pair_list = build_pair_list(engine.table.layers, mode, blocks)
+        bits = engine.table.config.bits
+        segments = engine._segments
+        layer_segments = engine._layer_segments
+        self.plan = build_eval_plan(
+            len(engine.table.layers), bits, pair_list, layer_segments,
+            len(segments), symmetric_diag, mode,
+        )
+        engine._active_cache_budget = cache_budget
+        engine._active_cache_bytes = cache_bytes
+        engine._active_eval_batch_k = max(1, int(eval_batch_k))
+        engine._active_waste_factor = auto_waste_factor(x, batch_size)
+        engine._active_fault_plan = fault_plan
+        engine._fault_attempt = 0
+        engine._poison_next_loss = False
+
+        engine.model.eval()
+        self.n = len(x)
+        self.batches = [
+            (x[s : s + batch_size], y[s : s + batch_size])
+            for s in range(0, self.n, batch_size)
+        ]
+        clean_freq: Counter = Counter()
+        for g in self.plan.groups:
+            clean_freq[g.segment] += 2 if g.mirror is not None else 1
+            for p in g.pairs:
+                if p.start_segment < g.segment:
+                    clean_freq[p.start_segment] += 1
+        self.clean = PrefixCache(
+            segments,
+            select_cuts(clean_freq, cache_budget) | {0},
+            max_bytes=cache_bytes,
+        )
+        with telemetry.span("sweep.prefix"):
+            base_total = 0.0
+            for b, (xb, yb) in enumerate(self.batches):
+                a = xb
+                for k, seg in enumerate(segments):
+                    self.clean.put(b, k, a)
+                    a = seg.forward(a)
+                base_total += engine.criterion.forward(a, yb) * len(xb)
+            self.base_loss = engine._check_finite(base_total / self.n)
+        _FORWARD_EVALS.add()
+        _SEGMENT_FORWARDS.add(len(segments) * len(self.batches))
+
+    def fingerprint(self) -> str:
+        """Plan + data + weights + batching hash every shard part must match."""
+        return self.plan.fingerprint(
+            self.engine._data_fingerprint(self.x, self.y, self.batch_size)
+        )
+
+    def group_indices(self, group_idx: int) -> List[int]:
+        """Plan-spec indices measured by plan group ``group_idx``."""
+        return [s.index for s in self.plan.groups[group_idx].specs()]
+
+    def run_group(self, group_idx: int) -> List[Tuple[int, float]]:
+        """Execute one plan group, returning ``(plan_index, loss)`` pairs."""
+        results, _, _ = self.engine._execute_group(
+            self.plan, group_idx, self.clean, self.batches, self.n
+        )
+        return results
+
+    def run_groups(
+        self,
+        group_indices: Sequence[int],
+        heartbeat: Optional[Callable[[], None]] = None,
+    ) -> Dict[int, float]:
+        """Execute several plan groups, invoking ``heartbeat`` after each."""
+        losses: Dict[int, float] = {}
+        for gi in group_indices:
+            for index, loss in self.run_group(gi):
+                losses[index] = loss
+            if heartbeat is not None:
+                heartbeat()
+        return losses
+
+    def assemble(
+        self, losses: Dict[int, float], fault_plan: Optional[FaultPlan] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble ``(matrix, single)`` from complete plan-indexed losses."""
+        missing = [
+            s.index for s in self.plan.specs() if s.index not in losses
+        ]
+        if missing:
+            raise ValueError(
+                f"cannot assemble: {len(missing)} plan indices unmeasured "
+                f"(first missing: {missing[:5]})"
+            )
+        return assemble_from_losses(self.plan, losses, self.base_loss, fault_plan)

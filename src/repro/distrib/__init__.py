@@ -1,0 +1,42 @@
+"""Elastic sharded sensitivity sweeps over a file-backed work queue.
+
+The subsystem splits one deterministic :class:`~repro.core.sweep.EvalPlan`
+into shards executed by spawned worker processes that share nothing with
+the coordinator but a spool directory.  Atomic lease files give
+exactly-once *acceptance* on top of at-least-once *execution*: crashed
+workers are reaped and their shards re-queued, stragglers are
+work-stolen, duplicate completions are discarded idempotently, and the
+merged Ĝ is bitwise identical to the single-process sweep.  See
+``docs/distrib.md`` for the protocol and failure matrix.
+"""
+
+from .lease import claim_next, heartbeat, lease_age, publish_done, revoke
+from .merge import load_part, merge_checkpoints, validate_part
+from .queue import measure_sharded, spawn_worker
+from .spool import (
+    SHARD_EXIT_CODE,
+    ShardProtocolError,
+    Spool,
+    partition_groups,
+    rebuild_session,
+)
+from .worker import run_worker
+
+__all__ = [
+    "SHARD_EXIT_CODE",
+    "ShardProtocolError",
+    "Spool",
+    "claim_next",
+    "heartbeat",
+    "lease_age",
+    "load_part",
+    "measure_sharded",
+    "merge_checkpoints",
+    "partition_groups",
+    "publish_done",
+    "rebuild_session",
+    "revoke",
+    "run_worker",
+    "spawn_worker",
+    "validate_part",
+]

@@ -1,0 +1,122 @@
+"""Lease-file primitives: atomic claims, heartbeats, and completion markers.
+
+A work ticket is claimed by *renaming* it into the lease directory —
+``os.replace`` is atomic on POSIX, so exactly one worker wins and every
+loser gets ``FileNotFoundError``.  The lease file's mtime is the worker's
+heartbeat (refreshed with ``os.utime``); the coordinator's reaper compares
+it against wall-clock time, which is why these helpers use the sanctioned
+wall clock from :mod:`repro.quant.export` rather than the monotonic
+telemetry clock — file mtimes are wall-clock and cross-process.
+
+Completion is published by hard-linking a fully-written document onto
+the shard's done-marker name: the link is atomic and never overwrites,
+so the first valid completion wins and every duplicate publisher fails
+the link and discards its attempt idempotently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..quant.export import wall_now
+from .spool import Spool
+
+__all__ = [
+    "claim_next",
+    "heartbeat",
+    "lease_age",
+    "revoke",
+    "publish_done",
+]
+
+
+def claim_next(spool: Spool, worker: str) -> Optional[Tuple[int, int, Path]]:
+    """Claim the lowest open ticket; ``None`` when the queue is empty.
+
+    Returns ``(shard, generation, lease_path)``.  Ticket scan order is
+    sorted-by-name (shard-major, generation-minor), so workers drain the
+    queue deterministically given the same visible tickets.
+    """
+    for ticket in sorted(spool.todo.glob("shard-*.json")):
+        shard, generation = spool.parse_stem(ticket.name)
+        lease = spool.lease_path(shard, generation, worker)
+        try:
+            os.replace(ticket, lease)
+        except FileNotFoundError:
+            continue  # another worker won this ticket; try the next
+        # os.replace preserves the *ticket's* mtime — which already aged
+        # while the ticket sat in the queue.  The lease clock must start
+        # at the claim, or a slow pickup looks like a dead worker.
+        os.utime(lease)
+        return shard, generation, lease
+    return None
+
+
+def heartbeat(lease: Path) -> bool:
+    """Refresh the lease mtime; False when the lease was revoked."""
+    try:
+        os.utime(lease)
+        return True
+    except FileNotFoundError:
+        return False  # reaper revoked us; keep going, merge is idempotent
+
+
+def lease_age(lease: Path) -> Optional[float]:
+    """Seconds since the last heartbeat; ``None`` when the lease vanished."""
+    try:
+        return max(0.0, wall_now() - lease.stat().st_mtime)
+    except FileNotFoundError:
+        return None
+
+
+def revoke(lease: Path) -> bool:
+    """Remove an expired lease; False when it was already gone."""
+    try:
+        os.unlink(lease)
+        return True
+    except FileNotFoundError:
+        return False
+
+
+def publish_done(
+    spool: Spool,
+    shard: int,
+    generation: int,
+    worker: str,
+    part: Path,
+    sha256: str,
+) -> bool:
+    """Publish a completion marker; False when another publisher won.
+
+    The marker carries the part's SHA-256 (computed *before* any fault
+    injection tears the file), so the coordinator can tell a torn payload
+    from a valid one without trusting the writer.
+    """
+    doc = {
+        "shard": int(shard),
+        "generation": int(generation),
+        "worker": str(worker),
+        "part": part.name,
+        "sha256": str(sha256),
+    }
+    payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+    marker = spool.done_path(shard)
+    # Creating the marker O_EXCL and then writing the payload would let
+    # the coordinator glob a zero-byte marker between the two syscalls
+    # and quarantine a perfectly good completion.  Writing a unique tmp
+    # sibling and hard-linking it into place keeps both properties at
+    # once: the link either materializes the fully-written document or
+    # fails because another publisher already won.
+    tmp = Path(f"{marker}.{generation}.{worker}.tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(payload)
+    try:
+        os.link(tmp, marker)
+    except FileExistsError:
+        return False
+    finally:
+        os.unlink(tmp)
+    return True

@@ -1,0 +1,93 @@
+"""Validating and merging shard partial checkpoints into one loss map.
+
+Parts are :class:`~repro.core.sweep.SweepCheckpoint` files — the same
+format, fingerprint guard, and corruption attribution as single-process
+resume checkpoints — so everything PR 5 hardened (fingerprint mismatch,
+truncation, in-archive damage) applies to shard partials for free.
+
+The merge itself is :func:`repro.core.sweep.merge_loss_maps`: losses are
+keyed by deterministic plan index, duplicates from work stealing collapse
+by bitwise value identity, and a conflicting value raises the typed
+:class:`~repro.core.sweep.CheckpointMergeConflict` attributing both
+sources.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from .. import telemetry
+from ..core.sweep import SweepCheckpoint, merge_loss_maps
+from ..quant.export import file_sha256
+
+__all__ = ["validate_part", "load_part", "merge_checkpoints"]
+
+#: Shard parts rejected at validation (torn, mismatched, incomplete).
+PARTS_REJECTED = telemetry.counter("distrib.parts_rejected")
+
+
+def load_part(path, fingerprint: str) -> Dict[int, float]:
+    """Losses from one shard part; ``{}`` when unreadable or foreign.
+
+    Rejections are attributed through the ``checkpoint.*`` counters by
+    :meth:`SweepCheckpoint.load` (fingerprint mismatch vs truncated vs
+    corrupt), exactly as for resume checkpoints.
+    """
+    return SweepCheckpoint(str(path), fingerprint).load()
+
+
+def validate_part(
+    path,
+    fingerprint: str,
+    expected_indices: Set[int],
+    sha256: Optional[str] = None,
+) -> Tuple[Optional[Dict[int, float]], str]:
+    """Check one published part; ``(losses, "ok")`` or ``(None, reason)``.
+
+    A part is valid when (a) its bytes hash to the published SHA-256 —
+    catching torn writes the zip container happens to survive — (b) it
+    parses as a checkpoint carrying this sweep's fingerprint, and (c) it
+    covers exactly the plan indices its shard owns.
+    """
+    part = Path(path)
+    if not part.exists():
+        PARTS_REJECTED.add()
+        return None, "part file missing"
+    if sha256 is not None:
+        actual = file_sha256(part)
+        if actual != sha256:
+            PARTS_REJECTED.add()
+            return None, (
+                f"sha256 mismatch: published {sha256[:12]}..., "
+                f"on disk {actual[:12]}... (torn or tampered payload)"
+            )
+    losses = load_part(part, fingerprint)
+    if not losses:
+        PARTS_REJECTED.add()
+        return None, "unreadable or foreign checkpoint (see checkpoint.* counters)"
+    got = set(losses)
+    if got != expected_indices:
+        PARTS_REJECTED.add()
+        missing = len(expected_indices - got)
+        extra = len(got - expected_indices)
+        return None, (
+            f"index coverage mismatch: {missing} expected indices missing, "
+            f"{extra} foreign indices present"
+        )
+    return losses, "ok"
+
+
+def merge_checkpoints(
+    parts: Sequence[Tuple[str, Dict[int, float]]],
+) -> Dict[int, float]:
+    """Fold validated ``(source name, losses)`` parts into one loss map.
+
+    Duplicate plan indices with bitwise-identical values (work stealing,
+    zombie completions) merge cleanly; a conflict raises
+    :class:`~repro.core.sweep.CheckpointMergeConflict` naming both source
+    parts — the protocol-level invariant that two honest workers can never
+    measure different values for the same plan index.
+    """
+    with telemetry.span("distrib.merge", parts=len(parts)):
+        return merge_loss_maps(parts)

@@ -1,0 +1,147 @@
+"""Spawned sweep worker: claim shards, measure, publish, repeat.
+
+Run as ``python -m repro sweep-worker --spool DIR --worker-id W``.  The
+worker shares nothing with the coordinator but the spool directory: it
+rebuilds the model and data from the job spec (``rebuild_session``),
+verifies its session fingerprint against the job's, then loops claiming
+tickets until the STOP sentinel appears.
+
+Per claimed shard the worker measures the shard's plan groups (one
+heartbeat per group), writes the losses as a ``SweepCheckpoint`` part,
+and publishes a completion marker carrying the part's SHA-256.  Losing
+the publish race (a thief or zombie got there first) is not an error —
+the part stays on disk and merges idempotently.
+
+Fault injection (``repro.robustness.faults``, keyed by shard id and
+lease generation) runs through the production paths:
+
+- ``shard_loss``            hard ``os._exit`` right after the claim
+- ``stale_lease``           heartbeats stop; the worker stalls past the
+                            TTL, then finishes as a zombie
+- ``torn_partial``          the written part is truncated *after* its
+                            SHA-256 went into the marker
+- ``duplicate_completion``  a second identical part + publish attempt
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from .. import telemetry
+from ..core.sweep import SweepCheckpoint
+from ..quant.export import file_sha256
+from ..robustness import faults as _faults
+from ..robustness.faults import FaultPlan
+from . import lease as lease_ops
+from .spool import Spool, rebuild_session
+
+__all__ = ["run_worker"]
+
+#: Shards this worker measured to completion (published or not).
+SHARDS_COMPLETED = telemetry.counter("distrib.worker_shards_completed")
+#: Publish attempts that lost the first-completion race (idempotent).
+PUBLISH_LOST = telemetry.counter("distrib.publish_races_lost")
+
+#: How far past the TTL an injected ``stale_lease`` stall sleeps.
+_STALL_FACTOR = 2.5
+
+
+def _write_part(spool: Spool, shard: int, generation: int, worker: str,
+                fingerprint: str, losses: dict, suffix: str = ""):
+    path = spool.part_path(shard, generation, worker, suffix=suffix)
+    part = SweepCheckpoint(path, fingerprint, every=len(losses) + 1)
+    for index, loss in sorted(losses.items()):
+        part.record(int(index), float(loss))
+    part.flush()
+    return path
+
+
+def run_worker(spool_root, worker_id: str, poll: float = 0.05) -> int:
+    """Body of one spawned sweep worker; returns a process exit code."""
+    spool = Spool(spool_root)
+    job = spool.read_job()
+    fault_plan: Optional[FaultPlan] = None
+    if job.get("fault_plan"):
+        fault_plan = FaultPlan.from_dict(job["fault_plan"])
+    ttl = float(job["lease_ttl"])
+    fingerprint = str(job["fingerprint"])
+    shard_groups = {int(k): list(v) for k, v in job["shards"].items()}
+
+    session = rebuild_session(spool, job)
+    ours = session.fingerprint()
+    if ours != fingerprint:
+        # The rebuilt world disagrees with the coordinator's: measuring
+        # anyway would poison the merge, so die loudly.  The coordinator's
+        # respawn budget bounds how often this can loop.
+        telemetry.emit(
+            f"worker {worker_id}: fingerprint mismatch "
+            f"(job {fingerprint[:12]}..., rebuilt {ours[:12]}...)"
+        )
+        return 1
+
+    while True:
+        if spool.stopped():
+            return 0
+        claim = lease_ops.claim_next(spool, worker_id)
+        if claim is None:
+            time.sleep(poll)
+            continue
+        shard, generation, lease = claim
+
+        if fault_plan is not None and fault_plan.shard_loss_now(shard, generation):
+            # Die like a lost box: no cleanup, no part, a lease that
+            # silently stops heartbeating until the reaper revokes it.
+            os._exit(_faults.FAULT_EXIT_CODE)
+        stalled = fault_plan is not None and fault_plan.stale_lease_now(
+            shard, generation
+        )
+
+        def beat() -> None:
+            if not stalled:
+                lease_ops.heartbeat(lease)
+
+        with telemetry.span("distrib.shard", shard=shard, generation=generation):
+            losses = session.run_groups(shard_groups[shard], heartbeat=beat)
+        if stalled:
+            # Straggler simulation: the work is done but the worker goes
+            # dark past the TTL, forcing a revoke + re-issue, then comes
+            # back as a zombie publisher.
+            time.sleep(_STALL_FACTOR * ttl)
+        SHARDS_COMPLETED.add()
+
+        part = _write_part(
+            spool, shard, generation, worker_id, fingerprint, losses
+        )
+        sha = file_sha256(part)
+        torn = (
+            fault_plan.torn_partial_fraction(shard, generation)
+            if fault_plan is not None
+            else None
+        )
+        if torn is not None:
+            size = os.path.getsize(part)
+            with open(part, "r+b") as fh:
+                fh.truncate(max(1, int(size * torn)))
+        if not lease_ops.publish_done(
+            spool, shard, generation, worker_id, part, sha
+        ):
+            PUBLISH_LOST.add()
+
+        if fault_plan is not None and fault_plan.duplicate_completion_now(
+            shard, generation
+        ):
+            # A retransmitting worker: identical losses, a second part
+            # file, a second publish attempt.  The publish loses (marker
+            # exists); the duplicate part must merge idempotently.
+            dup = _write_part(
+                spool, shard, generation, worker_id, fingerprint, losses,
+                suffix=".dup",
+            )
+            if not lease_ops.publish_done(
+                spool, shard, generation, worker_id, dup, file_sha256(dup)
+            ):
+                PUBLISH_LOST.add()
+
+        lease_ops.revoke(lease)  # tidy; reaper-safe if already gone

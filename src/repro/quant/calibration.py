@@ -62,8 +62,13 @@ def mse_optimal_scale(
     if not divisors:
         return max_abs / qmax
     scales = np.concatenate([ratios * max_abs / d for d in divisors])
-    if scales[0] <= 0:
-        raise ValueError(f"scale must be positive, got {scales[0]}")
+    # A subnormal max|w| can underflow ratio * max_abs / d to exactly 0.0;
+    # a zero scale divides by zero in the quantize step below.  Dropping
+    # the underflowed candidates keeps the enumeration order (and thus the
+    # bitwise-identical first-minimum selection) for every normal input.
+    scales = scales[scales > 0]
+    if scales.size == 0:
+        return max_abs  # every candidate underflowed; max|w| maps to code 1
     lo, hi = -(2 ** (bits - 1)), qmax
     flat = w.ravel()
     errs = np.empty(scales.size)
@@ -90,6 +95,11 @@ def affine_minmax_params(w: np.ndarray, bits: int) -> Tuple[np.ndarray, np.ndarr
     levels = 2**bits - 1
     span = w_max - w_min
     scale = np.where(span > 0, span / levels, 1.0)
+    # Subnormal spans can underflow span/levels to exactly 0.0 even though
+    # span > 0; a zero scale turns the zero-point division into NaN and
+    # every code into garbage.  Degenerate channels quantize against scale
+    # 1.0 (everything rounds to the zero code), matching the span == 0 arm.
+    scale = np.where(scale > 0, scale, 1.0)
     zero_point = np.round(-w_min / scale)
     return scale.astype(np.float64), zero_point.astype(np.float64)
 

@@ -189,6 +189,26 @@ def solve_with_fallback(
         return result
 
     with telemetry.span("solve.fallback"):
+        if deadline is not None and deadline <= 0.0:
+            # Already expired at entry (a coordinator handing us a dead
+            # budget, or an explicit "greedy only" request): don't spin
+            # through rungs that would each re-discover the dead clock —
+            # degrade straight to the greedy floor and mark it degraded.
+            _DEADLINE_EXPIRED.add()
+            expired = True
+            ladder.append({"rung": "bb", "status": "deadline_preexpired"})
+            ladder.append({"rung": "qp_round", "status": "deadline_preexpired"})
+            attempt("greedy", lambda: solve_greedy(problem))
+            if not candidates:
+                raise DeadlineExpired(
+                    f"no ladder rung produced a feasible assignment within "
+                    f"{deadline}s (ladder: {ladder})",
+                    rung="greedy",
+                    deadline=float(deadline),
+                )
+            _, _, rung, best = candidates[0]
+            return _finalize(best, rung, ladder, deadline, expired, t0)
+
         # Rung 1: exact branch-and-bound under a bounded budget.
         if deadline is not None:
             bb_budget = _BB_DEADLINE_FRACTION * deadline

@@ -268,6 +268,35 @@ class TestSolverLadderFallback:
         assert result.extras["rung"] == "bb"
         assert result.extras["degraded"] is False
 
+    def test_preexpired_deadline_degrades_straight_to_greedy(self):
+        # A coordinator handing over a dead budget must not spin through
+        # bb/qp_round just to rediscover the expired clock: the fast path
+        # records both upper rungs as pre-expired and lands on greedy.
+        problem = self._problem()
+        result = solve_with_fallback(problem, deadline=0.0)
+        assert result.method == "greedy"
+        assert result.size_bits <= problem.budget_bits
+        assert result.extras["rung"] == "greedy"
+        assert result.extras["degraded"] is True
+        assert result.extras["deadline_expired"] is True
+        statuses = {e["rung"]: e["status"] for e in result.extras["ladder"]}
+        assert statuses["bb"] == "deadline_preexpired"
+        assert statuses["qp_round"] == "deadline_preexpired"
+
+    def test_negative_deadline_same_fast_path(self):
+        problem = self._problem(n=3)
+        result = solve_with_fallback(problem, deadline=-1.5)
+        assert result.extras["rung"] == "greedy"
+        assert result.extras["ladder"][0]["status"] == "deadline_preexpired"
+
+    def test_preexpired_deadline_with_greedy_fault_raises(self):
+        # Even the fast path honours an injected greedy expiry: with no
+        # rung left to produce a candidate, the typed error propagates.
+        problem = self._problem(n=3)
+        plan = FaultPlan(faults=(FaultSpec("solver_deadline", rung="greedy"),))
+        with pytest.raises(DeadlineExpired):
+            solve_with_fallback(problem, deadline=0.0, fault_plan=plan)
+
 
 class TestQATNonFinite:
     def test_diverged_qat_raises_at_step(self):

@@ -246,3 +246,66 @@ class TestRealModelExport:
                 rtol=1e-5,
                 atol=1e-7,
             )
+
+
+class TestStaleTmpReap:
+    """Orphaned ``*.tmp`` siblings are reaped on save/load (PR 9)."""
+
+    @staticmethod
+    def _backdate(path, age):
+        import os
+
+        from repro.quant.export import wall_now
+
+        old = wall_now() - age
+        os.utime(path, (old, old))
+
+    def test_save_reaps_stale_sibling(self, tmp_path):
+        from repro import telemetry
+        from repro.quant.export import STALE_TMP_TTL
+
+        stale = tmp_path / "orphan.npz.tmp"
+        stale.write_bytes(b"dead writer leftovers")
+        self._backdate(stale, STALE_TMP_TTL + 60.0)
+        telemetry.enable()
+        try:
+            before = telemetry.counter("export.stale_tmp_reaped").value
+            save_packed(tmp_path / "weights.npz", _small_packed())
+            after = telemetry.counter("export.stale_tmp_reaped").value
+        finally:
+            telemetry.disable()
+        assert not stale.exists()
+        assert after > before
+
+    def test_load_reaps_stale_sibling(self, tmp_path):
+        from repro.quant.export import STALE_TMP_TTL
+
+        path = tmp_path / "weights.npz"
+        save_packed(path, _small_packed())
+        stale = tmp_path / "orphan.npz.tmp"
+        stale.write_bytes(b"x")
+        self._backdate(stale, STALE_TMP_TTL + 60.0)
+        assert load_packed(path)
+        assert not stale.exists()
+
+    def test_young_tmp_survives(self, tmp_path):
+        # A concurrent writer mid-save must not have its tmp stolen.
+        path = tmp_path / "weights.npz"
+        young = tmp_path / "concurrent.npz.tmp"
+        young.write_bytes(b"in-flight write")
+        save_packed(path, _small_packed())
+        assert load_packed(path)
+        assert young.exists()
+
+    def test_reap_counts_and_ignores_missing_dir(self, tmp_path):
+        from repro.quant.export import STALE_TMP_TTL, reap_stale_tmp
+
+        assert reap_stale_tmp(tmp_path / "nope") == 0
+        a = tmp_path / "a.tmp"
+        b = tmp_path / "b.tmp"
+        a.write_bytes(b"1")
+        b.write_bytes(b"2")
+        self._backdate(a, STALE_TMP_TTL + 5.0)
+        self._backdate(b, STALE_TMP_TTL + 5.0)
+        assert reap_stale_tmp(tmp_path) == 2
+        assert not a.exists() and not b.exists()
