@@ -31,6 +31,20 @@ as ``make chaos-smoke`` inside the default ``make`` target:
    disabled refuses the matrix (library: :class:`UnhealthyMatrixError`;
    CLI: exit code 5).
 
+6. **Store integrity** — the content-addressed Ĝ artifact store
+   (docs/store.md) never serves a corrupt or mismatched artifact.  On
+   **every zoo model**: ``allocate-cached`` on a warm store yields bit
+   assignments **bitwise identical** to a fresh sweep-and-solve with
+   **zero** forward evaluations recorded in the run manifest; each
+   injected artifact fault (``truncated_artifact``, ``checksum_flip``,
+   ``fingerprint_mismatch``) is refused with the typed
+   ``CorruptArtifactError``/``StaleArtifactError`` attribution, the bad
+   entry is quarantined, and the quarantine-then-remeasure fallback
+   reproduces the reference assignment exactly.  A publisher killed
+   (kill -9) mid-write leaves only a reapable ``*.tmp`` orphan — never a
+   visible entry; duplicate publishes are idempotent; a planted stale
+   writer lock (``stale_writer_lock``) is taken over, not deadlocked on.
+
 Everything is driven by seeded :class:`repro.robustness.FaultPlan`
 schedules — no monkeypatching, no timing dependence — so failures here
 reproduce exactly under ``REPRO_FAULT_PLAN`` at the command line.
@@ -424,6 +438,221 @@ def cli_health_chaos(tmp: Path) -> None:
     )
 
 
+def store_chaos(tmp: Path) -> None:
+    """Check 6: the store never serves corrupt/mismatched Ĝ, and serves
+    verified Ĝ bitwise-identically to a fresh sweep with zero evals."""
+    import os
+    import signal
+    import subprocess
+
+    from repro.atomicio import STALE_TMP_TTL
+    from repro.core import CLADO, SensitivityConfig, SolverConfig
+    from repro.quant.export import CorruptArtifactError
+    from repro.store import (
+        ArtifactStore,
+        StaleArtifactError,
+        StoreMissError,
+        allocate_cached,
+        request_key,
+    )
+
+    rng = np.random.default_rng(29)
+    x = rng.normal(size=(8, 3, 32, 32)).astype(np.float32)
+    y = rng.integers(0, 10, size=8)
+    qconfig = QuantConfig(bits=(2, 4, 8))
+    solver = SolverConfig(time_limit=5.0)
+    config = SensitivityConfig(batch_size=8, num_workers=1)
+    fault_kinds = ("truncated_artifact", "checksum_flip", "fingerprint_mismatch")
+
+    def same_assignments(a, b):
+        return len(a) == len(b) and all(
+            np.array_equal(r.assignment.bits, s.assignment.bits)
+            and np.array_equal(r.assignment.choice, s.assignment.choice)
+            for r, s in zip(a, b)
+        )
+
+    for name in sorted(MODEL_REGISTRY):
+        mode = "block" if name == "resnet_s20" else "diagonal"
+        model = build_model(name, num_classes=10)
+        model.eval()
+        layers = quantizable_layers(model, name)
+        total = sum(layer.num_params for layer in layers)
+        budgets = [int(total * 4.5), int(total * 5)]
+        root = tmp / f"store-{name}"
+
+        def make():
+            return CLADO(model, name, qconfig, mode=mode, layers=layers)
+
+        # Reference: fresh sweep-and-solve, published into an empty store.
+        store = ArtifactStore(root / "ref")
+        reference = allocate_cached(make(), x, y, budgets, store, solver, config)
+        key = request_key(make(), x, y, config)
+        artifact = store.load(key)
+
+        # Warm store, offline: bitwise-identical assignments, zero evals.
+        with telemetry.start_run("chaos-smoke", manifest_dir=tmp) as run:
+            cached = allocate_cached(
+                make(), x, y, budgets, store, solver, config, offline=True
+            )
+            doc = run.document()
+        evals = doc["counters"].get("sensitivity.forward_evals", 0)
+        check(
+            f"cached serve bitwise equals fresh sweep-and-solve on {name} ({mode})",
+            same_assignments(reference, cached)
+            and doc["results"].get("store_source") == "store"
+            and evals == 0,
+            f"forward_evals={evals}",
+        )
+
+        # Each artifact fault: typed refusal, quarantine, and a remeasure
+        # that reproduces the reference assignment exactly.
+        for kind in fault_kinds:
+            froot = root / kind
+            saboteur = ArtifactStore(
+                froot,
+                fault_plan=FaultPlan(seed=13, faults=(FaultSpec(kind, at=0),)),
+            )
+            outcome = saboteur.publish(key, artifact)
+            victim = ArtifactStore(froot)  # clean store view on the damage
+            try:
+                victim.load(key)
+                typed = "served"
+            except CorruptArtifactError:
+                typed = "corrupt"
+            except StaleArtifactError:
+                typed = "stale"
+            expected = "stale" if kind == "fingerprint_mismatch" else "corrupt"
+            check(
+                f"{kind} refused with typed {expected} attribution on {name}",
+                outcome == "published" and typed == expected,
+                f"got={typed}",
+            )
+            with telemetry.start_run("chaos-smoke", manifest_dir=tmp) as run:
+                healed = allocate_cached(
+                    make(), x, y, budgets, victim, solver, config
+                )
+                doc = run.document()
+            counters = doc["counters"]
+            check(
+                f"{kind} quarantined + remeasured to the reference on {name}",
+                same_assignments(reference, healed)
+                and doc["results"].get("store_source") == "quarantine_remeasure"
+                and counters.get("store.quarantined", 0) >= 1
+                and counters.get(f"store.{expected}", 0) >= 1,
+                f"source={doc['results'].get('store_source')}",
+            )
+
+        if name != sorted(MODEL_REGISTRY)[0]:
+            continue
+
+        # ---- store-protocol checks (one model is enough) ------------------
+
+        # Offline on an empty store: typed miss, no silent sweep.
+        try:
+            allocate_cached(
+                make(), x, y, budgets, ArtifactStore(root / "empty"),
+                solver, config, offline=True,
+            )
+            reason = "served"
+        except StoreMissError as exc:
+            reason = exc.reason
+        check("offline miss raises StoreMissError", reason == "miss")
+
+        # Offline on a damaged entry: typed integrity refusal + quarantine.
+        froot = root / "offline-integrity"
+        ArtifactStore(
+            froot,
+            fault_plan=FaultPlan(
+                seed=13, faults=(FaultSpec("checksum_flip", at=0),)
+            ),
+        ).publish(key, artifact)
+        victim = ArtifactStore(froot)
+        try:
+            allocate_cached(
+                make(), x, y, budgets, victim, solver, config, offline=True
+            )
+            reason = "served"
+        except StoreMissError as exc:
+            reason = exc.reason
+        check(
+            "offline integrity failure refuses instead of serving",
+            reason == "integrity"
+            and not victim.has(key)
+            and len(list(victim.quarantine_dir.glob("*.npz"))) == 1
+            and len(list(victim.quarantine_dir.glob("*.reason.json"))) == 1,
+            f"reason={reason}",
+        )
+
+        # A stale writer lock from a dead publisher is taken over.
+        lroot = root / "stale-lock"
+        locker = ArtifactStore(
+            lroot,
+            fault_plan=FaultPlan(
+                seed=17, faults=(FaultSpec("stale_writer_lock", at=0),)
+            ),
+        )
+        with telemetry.start_run("chaos-smoke", manifest_dir=tmp) as run:
+            outcome = locker.publish(key, artifact)
+            takeovers = run.document()["counters"].get("store.lock_takeovers", 0)
+        served = ArtifactStore(lroot).load(key)
+        check(
+            "stale writer lock taken over, publish lands and verifies",
+            outcome == "published" and takeovers >= 1 and served is not None,
+            f"outcome={outcome} takeovers={takeovers}",
+        )
+
+        # Duplicate publish of the same content address is idempotent; a
+        # live writer's lock makes the loser yield with "busy".
+        check(
+            "duplicate publish is idempotent",
+            store.publish(key, artifact) == "exists" and store.has(key),
+        )
+        lock = store.lock_path(key)
+        lock.write_text('{"pid": 0}')
+        try:
+            busy = store.publish(key, artifact)
+        finally:
+            lock.unlink()
+        check("live writer lock makes a concurrent publish yield", busy == "busy")
+
+        # kill -9 mid-write: the torn tmp is invisible and reapable.
+        kroot = root / "kill9"
+        kstore = ArtifactStore(kroot)
+        child = (
+            "import os, signal, sys\n"
+            "from pathlib import Path\n"
+            "tmp = Path(sys.argv[1]) / 'objects' / (sys.argv[2] + '.npz.tmp')\n"
+            "fh = open(tmp, 'wb')\n"
+            "fh.write(b'torn half-written artifact payload')\n"
+            "fh.flush()\n"
+            "os.fsync(fh.fileno())\n"
+            "os.kill(os.getpid(), signal.SIGKILL)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", child, str(kroot), key.key],
+            capture_output=True,
+        )
+        torn = kstore.objects / f"{key.key}.npz.tmp"
+        invisible = (
+            proc.returncode == -signal.SIGKILL
+            and torn.exists()
+            and not kstore.has(key)
+            and kstore.entries() == []
+            and kstore.load(key) is None
+        )
+        check(
+            "kill -9 mid-write leaves no visible entry, only a tmp orphan",
+            invisible,
+            f"rc={proc.returncode}",
+        )
+        aged = kstore.objects.stat().st_mtime - 2.0 * STALE_TMP_TTL
+        os.utime(torn, (aged, aged))
+        check(
+            "aged tmp orphan is reaped",
+            kstore.reap() >= 1 and not torn.exists() and kstore.load(key) is None,
+        )
+
+
 def main() -> int:
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmpdir:
         tmp = Path(tmpdir)
@@ -432,6 +661,7 @@ def main() -> int:
         distrib_chaos(tmp)
         measurement_chaos(tmp)
         cli_health_chaos(tmp)
+        store_chaos(tmp)
     failures = [(name, detail) for name, ok, detail in CHECKS if not ok]
     telemetry.emit(
         f"[chaos-smoke] {len(CHECKS) - len(failures)}/{len(CHECKS)} checks passed"

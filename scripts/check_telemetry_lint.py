@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """AST lint: enforce the telemetry conventions inside ``src/repro/``.
 
-Six rules (see docs/observability.md and docs/robustness.md):
+Seven rules (see docs/observability.md and docs/robustness.md):
 
 1. No ``time.time()`` — wall-clock arithmetic must use
    ``telemetry.monotonic()`` (an alias of ``time.perf_counter``) so spans
@@ -42,6 +42,17 @@ Six rules (see docs/observability.md and docs/robustness.md):
    where blocking forever is the designed behaviour (e.g. an idle
    worker parked on its task pipe whose parent owns liveness) carries a
    ``lint-allow-blocking`` comment just above explaining why.
+7. No raw artifact writes — ``open(..., "w"/"wb"/"a"/...)``,
+   ``np.save``/``np.savez``/``np.savez_compressed``, and ``json.dump``
+   are forbidden everywhere in ``src/repro`` except
+   :mod:`repro.atomicio`, the one sanctioned writer.  A plain write can
+   be killed half-done and leave a visible, truncated artifact; the
+   atomic helper's tmp + ``os.replace`` discipline is what makes
+   checkpoints, spools, caches, and store entries crash-safe, so every
+   byte on disk must flow through it.  A site whose write is itself part
+   of an atomic discipline (the helper's own tmp write, an in-memory
+   ``BytesIO`` serialization, an ``O_EXCL``-created lock file) carries a
+   ``lint-allow-raw-write`` comment explaining why.
 
 Exit status 0 when clean, 1 with a ``path:line: message`` listing per
 violation.  Run via ``make lint`` (part of the default ``make`` target).
@@ -83,6 +94,15 @@ SWALLOW_MARKER = "lint-allow-swallow"
 
 #: Marker comment sanctioning an intentionally unbounded blocking call.
 BLOCKING_MARKER = "lint-allow-blocking"
+
+#: Marker comment sanctioning a raw (non-atomic) write site.
+RAW_WRITE_MARKER = "lint-allow-raw-write"
+
+#: Rule 7: the one module allowed to write artifacts directly.
+ALLOWED_RAW_WRITE = {TARGET / "atomicio.py"}
+
+#: ``np.*`` savers rule 7 rejects outside the atomic writer.
+NP_SAVE_NAMES = {"save", "savez", "savez_compressed"}
 
 
 def _is_hot_path(func: ast.AST) -> bool:
@@ -223,9 +243,66 @@ def _blocking_violations(tree: ast.AST, source_lines):
             )
 
 
+def _raw_write_violations(path: Path, tree: ast.AST, source_lines):
+    """Rule 7: raw artifact writes outside the atomic-writer helper."""
+    if path in ALLOWED_RAW_WRITE:
+        return
+
+    def marked(lineno: int) -> bool:
+        window = source_lines[max(0, lineno - 8) : lineno]
+        return any(RAW_WRITE_MARKER in line for line in window)
+
+    def write_mode(node: ast.Call):
+        """The literal mode string when it opens for writing, else None."""
+        mode = None
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            mode = node.args[1].value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                mode = kw.value.value
+        if isinstance(mode, str) and ("w" in mode or "a" in mode):
+            return mode
+        return None
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        fn = node.func
+        message = None
+        if (isinstance(fn, ast.Name) and fn.id == "open") or (
+            isinstance(fn, ast.Attribute) and fn.attr == "fdopen"
+        ):
+            mode = write_mode(node)
+            if mode is not None:
+                message = f"raw open(..., {mode!r})"
+        elif (
+            isinstance(fn, ast.Attribute)
+            and fn.attr in NP_SAVE_NAMES
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id in ("np", "numpy")
+        ):
+            message = f"raw np.{fn.attr}()"
+        elif (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "dump"
+            and isinstance(fn.value, ast.Name)
+            and fn.value.id == "json"
+        ):
+            message = "raw json.dump()"
+        if message is not None and not marked(node.lineno):
+            yield (
+                node.lineno,
+                f"{message} outside repro/atomicio.py; route the write "
+                "through atomic_write_bytes/_npz/_json so a crash cannot "
+                "leave a torn artifact (a site that is itself atomic "
+                f"needs a '{RAW_WRITE_MARKER}' comment)",
+            )
+
+
 def _violations(path: Path, tree: ast.AST, source_lines):
     yield from _swallow_violations(path, tree, source_lines)
     yield from _blocking_violations(tree, source_lines)
+    yield from _raw_write_violations(path, tree, source_lines)
     for node in ast.walk(tree):
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and _is_hot_path(
             node

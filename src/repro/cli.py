@@ -5,13 +5,18 @@ Commands
 - ``pretrain``            train-and-cache the full model zoo
 - ``models``              list registered models with layer-index maps
 - ``allocate``            run an MPQ algorithm on one model and budget
+- ``allocate-cached``     serve allocations from the Ĝ artifact store
+- ``store``               inspect/verify/reap an artifact store
 - ``experiment <name>``   regenerate one paper table/figure
 - ``report <manifest>``   pretty-print a telemetry run manifest
 - ``sweep-worker``        internal: one sharded-sweep worker process
 
-``--trace`` (on ``allocate``/``experiment``) records the run into a JSON
-manifest under ``reports/runs/`` (override with ``--manifest-dir`` or
-``REPRO_MANIFEST_DIR``); ``report`` renders one.
+``--trace`` (on ``allocate``/``allocate-cached``/``experiment``) records
+the run into a JSON manifest under ``reports/runs/`` (override with
+``--manifest-dir`` or ``REPRO_MANIFEST_DIR``); ``report`` renders one.
+
+Failure exit codes are typed; the full contract (codes 2-7 and 130) is
+the table in docs/robustness.md.
 """
 
 from __future__ import annotations
@@ -208,22 +213,12 @@ def _allocate_body(args, run) -> int:
 def _cmd_allocate(args) -> int:
     """Run one allocation.
 
-    Exit-code contract (see docs/robustness.md):
-
-    - ``0`` — success
-    - ``2`` — infeasible budget (:class:`InfeasibleBudgetError`)
-    - ``3`` — deadline expired; the allocation came from a fallback rung
-    - ``4`` — unrecoverable sweep failure (retries and serial fallback
-      exhausted), or no ladder rung produced a feasible assignment
-    - ``5`` — ``--health strict`` and the sensitivity matrix still failed
-      integrity checks after the repair ladder
-      (:class:`UnhealthyMatrixError`)
-    - ``6`` — the sharded-sweep protocol could not complete (a shard out
-      of retries, all workers dead with no respawn budget, or merged
-      parts not covering the plan) (:class:`ShardProtocolError`)
-    - ``130`` — interrupted (Ctrl-C); the sweep checkpoint was flushed on
-      the way out, so re-running with the same ``--sweep-checkpoint``
-      resumes instead of restarting
+    Exit codes follow the repository-wide contract — the single
+    authoritative table lives in docs/robustness.md ("Exit-code
+    contract").  In brief: 0 success, 2 infeasible budget, 3 degraded
+    (fallback rung), 4 sweep failure, 5 unhealthy matrix under
+    ``--health strict``, 6 shard-protocol failure, 7 store refusal
+    (``allocate-cached --offline``), 130 interrupted.
     """
     from .core import InfeasibleBudgetError
     from .distrib import SHARD_EXIT_CODE, ShardProtocolError
@@ -291,6 +286,158 @@ class _null_context:
 
     def __exit__(self, *exc) -> bool:
         return False
+
+
+def _allocate_cached_body(args, run) -> int:
+    from .core import (
+        SensitivityConfig,
+        SolverConfig,
+        evaluate_assignment,
+        setup_activation_quant,
+    )
+    from .data import make_dataset, sensitivity_set
+    from .experiments import model_quant_config
+    from .experiments.runner import ExperimentContext
+    from .models import get_pretrained
+    from .quant import bytes_to_mb
+    from .store import ArtifactStore, allocate_cached
+
+    dataset = make_dataset()
+    model, _ = get_pretrained(args.model, dataset, verbose=True)
+    config = model_quant_config(args.model)
+    x_sens, y_sens = sensitivity_set(dataset, size=args.set_size)
+    sens_config = SensitivityConfig(
+        health=args.health,
+        health_rounds=args.health_rounds,
+    )
+    ctx = ExperimentContext()
+    algo = ctx.make_algorithm(
+        args.algorithm, args.model, model=model, config=config,
+        sensitivity=sens_config,
+    )
+    setup_activation_quant(model, algo.layers, x_sens, bits=config.act_bits)
+    store = ArtifactStore(args.store)
+    total_params = int(algo.layer_sizes().sum())
+    budgets = [int(total_params * avg) for avg in args.avg_bits]
+    results = allocate_cached(
+        algo,
+        x_sens,
+        y_sens,
+        budgets,
+        store,
+        solver=SolverConfig(time_limit=args.time_limit, deadline=args.deadline),
+        offline=args.offline,
+        warm_chain=not args.no_warm_chain,
+    )
+    degraded_exit = 0
+    run_doc = telemetry.current_run()
+    source = run_doc.results.get("store_source") if run_doc is not None else None
+    if source:
+        emit(f"sensitivities served from: {source}")
+    for avg, budget, result in zip(args.avg_bits, budgets, results):
+        emit(
+            f"\nbudget {bytes_to_mb(budget / 8):.4f} MB ({avg}-bit average): "
+            f"{result.solver_method} ({result.solver_status}), "
+            f"utilization {result.utilization:.1%}"
+        )
+        solver_result = result.solver
+        if solver_result is not None and solver_result.extras.get("degraded"):
+            emit(
+                "warning: allocation came from fallback rung "
+                f"{solver_result.extras.get('rung')!r} (exit code 3)"
+            )
+            degraded_exit = 3
+        if args.verbose:
+            for layer, b in zip(algo.layers, result.bits):
+                emit(f"  {layer.name:<40} {int(b)} bits")
+    if args.evaluate:
+        _, (x_val, y_val) = dataset.splits(1, 512)
+        for avg, result in zip(args.avg_bits, results):
+            loss, acc = evaluate_assignment(
+                model, algo.table, result.bits, x_val, y_val
+            )
+            emit(f"{avg}-bit average: validation top-1 {100 * acc:.2f}%  "
+                 f"(loss {loss:.4f})")
+            if run is not None:
+                run.add_result(**{f"val_acc_{avg}": float(acc)})
+    return degraded_exit
+
+
+def _cmd_allocate_cached(args) -> int:
+    """Serve allocations from the Ĝ artifact store (docs/store.md).
+
+    Exit codes follow the contract table in docs/robustness.md; the code
+    specific to this command is ``7`` — the store could not serve the
+    request under ``--offline`` (miss, or an entry quarantined after
+    failing integrity verification).
+    """
+    from .core import InfeasibleBudgetError
+    from .robustness import DeadlineExpired, SweepFailure, UnhealthyMatrixError
+    from .store import STORE_EXIT_CODE, StoreMissError
+
+    run = None
+    if args.trace:
+        run = telemetry.start_run(
+            f"allocate-cached.{args.algorithm}",
+            config={
+                "model": args.model,
+                "algorithm": args.algorithm,
+                "avg_bits": list(args.avg_bits),
+                "set_size": args.set_size,
+                "store": args.store,
+                "offline": bool(args.offline),
+            },
+            manifest_dir=args.manifest_dir,
+        )
+    try:
+        with run if run is not None else _null_context():
+            code = _allocate_cached_body(args, run)
+    except InfeasibleBudgetError as exc:
+        emit(f"error: infeasible budget — {exc}")
+        return 2
+    except DeadlineExpired as exc:
+        emit(f"error: solver deadline expired without a feasible result — {exc}")
+        return 3
+    except SweepFailure as exc:
+        emit(f"error: unrecoverable sweep failure — {exc}")
+        return 4
+    except UnhealthyMatrixError as exc:
+        emit(f"error: sensitivity matrix failed integrity checks — {exc}")
+        return 5
+    except StoreMissError as exc:
+        emit(f"error: store cannot serve this request — {exc}")
+        emit("  drop --offline to measure and publish, or warm the store "
+             "with a non-offline run")
+        return STORE_EXIT_CODE
+    if run is not None and run.path is not None:
+        emit(f"run manifest: {run.path}")
+    return code
+
+
+def _cmd_store(args) -> int:
+    """Store maintenance: list entries, verify integrity, reap orphans."""
+    from .store import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    if args.action == "list":
+        info = store.describe()
+        emit(f"store {info['root']}: {info['entries']} entr(y/ies), "
+             f"{info['quarantined']} quarantined, {info['locks']} lock(s)")
+        for path in store.entries():
+            emit(f"  {path.stem}")
+        return 0
+    if args.action == "verify":
+        bad = 0
+        for key, status in store.verify_all():
+            emit(f"  {key[:16]}...  {status}")
+            if status != "ok":
+                bad += 1
+        emit(f"{bad} entr(y/ies) failed verification")
+        return 1 if bad else 0
+    # reap
+    count = store.reap()
+    emit(f"reaped {count} stale tmp/lock file(s)")
+    return 0
 
 
 _EXPERIMENTS = {
@@ -516,6 +663,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="manifest output directory (default reports/runs/)",
     )
     p.set_defaults(func=_cmd_allocate)
+
+    p = sub.add_parser(
+        "allocate-cached",
+        help="serve allocations from the Ĝ artifact store (docs/store.md)",
+    )
+    p.add_argument("--model", default="resnet_s34")
+    p.add_argument(
+        "--algorithm",
+        default="clado",
+        choices=["clado", "clado_star", "clado_block", "clado_nopsd"],
+        help="CLADO-family algorithms only (the store addresses Ĝ)",
+    )
+    p.add_argument(
+        "--avg-bits",
+        type=float,
+        nargs="+",
+        default=[4.0],
+        help="budget grid as average bits per weight; adjacent budgets "
+        "chain warm starts through the solver ladder",
+    )
+    p.add_argument("--set-size", type=int, default=64)
+    p.add_argument("--time-limit", type=float, default=20.0)
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-budget wall-clock allowance for the solver ladder")
+    p.add_argument(
+        "--store",
+        required=True,
+        help="artifact store root directory (created if absent)",
+    )
+    p.add_argument(
+        "--offline",
+        action="store_true",
+        help="forbid measuring: a miss or integrity failure exits 7 "
+        "instead of running a fresh sweep",
+    )
+    p.add_argument(
+        "--no-warm-chain",
+        action="store_true",
+        help="solve every budget cold (skip the warm rung between "
+        "adjacent budgets)",
+    )
+    p.add_argument(
+        "--health",
+        choices=("off", "warn", "strict"),
+        default="warn",
+        help="integrity checking for fresh sweeps (cached entries always "
+        "re-enter the repair ladder)",
+    )
+    p.add_argument("--health-rounds", type=int, default=2)
+    p.add_argument("--evaluate", action="store_true",
+                   help="run validation accuracy for each budget")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-layer bit assignments")
+    p.add_argument("--trace", action="store_true",
+                   help="record counters/spans and write a run manifest")
+    p.add_argument("--manifest-dir", default=None)
+    p.set_defaults(func=_cmd_allocate_cached)
+
+    p = sub.add_parser("store", help="inspect/verify/reap an artifact store")
+    p.add_argument("action", choices=("list", "verify", "reap"))
+    p.add_argument("--store", required=True, help="artifact store root")
+    p.set_defaults(func=_cmd_store)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -36,6 +36,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from .. import telemetry
+from ..atomicio import atomic_write_npz
 from ..robustness.faults import FaultPlan
 
 __all__ = [
@@ -531,19 +532,18 @@ class SweepCheckpoint:
     def flush(self) -> None:
         if not self._unsaved and os.path.exists(self.path):
             return
-        tmp = self.path + ".tmp"
         indices = np.asarray(sorted(self._losses), dtype=np.int64)
         losses = np.asarray(
             [self._losses[int(i)] for i in indices], dtype=np.float64
         )
-        with open(tmp, "wb") as fh:
-            np.savez(
-                fh,
-                indices=indices,
-                losses=losses,
-                fingerprint=np.asarray(self.fingerprint),
-            )
-        os.replace(tmp, self.path)
+        atomic_write_npz(
+            self.path,
+            {
+                "indices": indices,
+                "losses": losses,
+                "fingerprint": np.asarray(self.fingerprint),
+            },
+        )
         self._unsaved = 0
         self._flushes += 1
         if self.fault_plan is not None:

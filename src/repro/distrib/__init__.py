@@ -10,7 +10,14 @@ merged Ĝ is bitwise identical to the single-process sweep.  See
 ``docs/distrib.md`` for the protocol and failure matrix.
 """
 
-from .lease import claim_next, heartbeat, lease_age, publish_done, revoke
+from .lease import (
+    claim_next,
+    heartbeat,
+    lease_age,
+    lease_expired,
+    publish_done,
+    revoke,
+)
 from .merge import load_part, merge_checkpoints, validate_part
 from .queue import measure_sharded, spawn_worker
 from .spool import (
@@ -29,6 +36,7 @@ __all__ = [
     "claim_next",
     "heartbeat",
     "lease_age",
+    "lease_expired",
     "load_part",
     "measure_sharded",
     "merge_checkpoints",

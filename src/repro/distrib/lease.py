@@ -28,6 +28,7 @@ __all__ = [
     "claim_next",
     "heartbeat",
     "lease_age",
+    "lease_expired",
     "revoke",
     "publish_done",
 ]
@@ -72,6 +73,19 @@ def lease_age(lease: Path) -> Optional[float]:
         return None
 
 
+def lease_expired(age: Optional[float], lease_ttl: float) -> bool:
+    """The coordinator's one expiry rule: strictly *older* than the TTL.
+
+    The boundary matters: a lease at exactly ``lease_ttl`` elapsed is
+    still live, so a worker that heartbeats on the TTL cadence is never
+    revoked by a reaper sharing its clock — revoke-at-``>=`` would let
+    the reaper and a punctual heartbeat race to a double claim of the
+    re-queued ticket.  A vanished lease (``age is None``) is not expired:
+    either the worker revoked it on completion or the reaper already won.
+    """
+    return age is not None and age > lease_ttl
+
+
 def revoke(lease: Path) -> bool:
     """Remove an expired lease; False when it was already gone."""
     try:
@@ -111,6 +125,10 @@ def publish_done(
     # once: the link either materializes the fully-written document or
     # fails because another publisher already won.
     tmp = Path(f"{marker}.{generation}.{worker}.tmp")
+    # lint-allow-raw-write: this tmp+link publisher is its own atomic
+    # discipline — the exclusive os.link below is the commit point, so
+    # routing the tmp write through atomic_write_bytes would only add a
+    # second rename without changing what readers can observe.
     with open(tmp, "wb") as fh:
         fh.write(payload)
     try:

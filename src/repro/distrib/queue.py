@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from .. import telemetry
+from ..atomicio import atomic_write_json
 from ..quant.export import wall_now
 from ..robustness.faults import ENV_VAR, FaultPlan
 from ..robustness.health import HealthPolicy
@@ -85,6 +86,7 @@ def spawn_worker(spool: Spool, worker_id: str, poll: float = 0.02):
     src_root = str(Path(repro.__file__).resolve().parents[1])
     prior = env.get("PYTHONPATH")
     env["PYTHONPATH"] = src_root if not prior else os.pathsep.join([src_root, prior])
+    # lint-allow-raw-write: append-only worker log stream, not an artifact
     log = open(spool.logs / f"{worker_id}.log", "ab")
     proc = subprocess.Popen(
         [
@@ -112,11 +114,10 @@ def _quarantine(spool: Spool, reason: str, *paths) -> None:
         except FileNotFoundError:
             continue
     if moved:
-        doc = json.dumps({"files": moved, "reason": reason}, sort_keys=True)
-        with open(
-            spool.quarantine / (moved[0] + ".reason.json"), "w", encoding="utf-8"
-        ) as fh:
-            fh.write(doc + "\n")
+        atomic_write_json(
+            spool.quarantine / (moved[0] + ".reason.json"),
+            {"files": moved, "reason": reason},
+        )
     _QUARANTINED.add()
 
 
@@ -315,9 +316,7 @@ def measure_sharded(
                 for lf in sorted(spool.leases.glob("shard-*.lease")):
                     s, _ = spool.parse_stem(lf.name)
                     age = lease_ops.lease_age(lf)
-                    if age is None:
-                        continue
-                    if age > lease_ttl:
+                    if lease_ops.lease_expired(age, lease_ttl):
                         if lease_ops.revoke(lf):
                             stats["leases_expired"] += 1
                             _LEASES_EXPIRED.add()

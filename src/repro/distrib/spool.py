@@ -27,7 +27,6 @@ marker catches.
 from __future__ import annotations
 
 import importlib
-import io
 import json
 import os
 from pathlib import Path
@@ -35,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..quant.export import atomic_write_bytes, reap_stale_tmp, wall_now
+from ..atomicio import atomic_write_bytes, atomic_write_npz, reap_stale_tmp, wall_now
 
 __all__ = [
     "ShardProtocolError",
@@ -95,9 +94,7 @@ class Spool:
             return json.load(fh)
 
     def write_npz(self, path, arrays: Dict[str, np.ndarray]) -> None:
-        buf = io.BytesIO()
-        np.savez(buf, **arrays)
-        atomic_write_bytes(path, buf.getvalue())
+        atomic_write_npz(path, arrays)
 
     # -- tickets / leases ------------------------------------------------------
     @staticmethod

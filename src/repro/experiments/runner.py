@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..atomicio import atomic_write_npz
 from ..core import (
     CLADO,
     SensitivityConfig,
@@ -175,14 +176,16 @@ class ExperimentContext:
         self.attach_activation_quant(model_name, algo.layers, x, config)
         algo.prepare(x, y)
         result = algo.raw
-        np.savez(
+        atomic_write_npz(
             path,
-            matrix=result.matrix,
-            base_loss=np.float64(result.base_loss),
-            single_losses=result.single_losses,
-            num_evals=np.int64(result.num_evals),
-            wall_time=np.float64(result.wall_time),
-            bits=np.asarray(result.bits, dtype=np.int64),
+            {
+                "matrix": result.matrix,
+                "base_loss": np.float64(result.base_loss),
+                "single_losses": result.single_losses,
+                "num_evals": np.int64(result.num_evals),
+                "wall_time": np.float64(result.wall_time),
+                "bits": np.asarray(result.bits, dtype=np.int64),
+            },
         )
         return result
 

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .. import telemetry
+from ..atomicio import atomic_write_npz
 from ..data import SyntheticImageNet, iterate_batches, make_dataset, shuffled_epochs
 from ..nn import Adam, CrossEntropyLoss, Module, SGD, accuracy, cosine_lr
 from .registry import build_model
@@ -174,6 +175,6 @@ def get_pretrained(
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {f"state/{k}": v for k, v in model.state_dict().items()}
     payload.update({f"metrics/{k}": np.float64(v) for k, v in metrics.items()})
-    np.savez(path, **payload)
+    atomic_write_npz(path, payload)
     model.eval()
     return model, metrics

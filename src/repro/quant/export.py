@@ -17,100 +17,32 @@ fails verification must never decode to silently-wrong weights.
 
 from __future__ import annotations
 
-import hashlib
-import io
 import os
 from dataclasses import dataclass
-from datetime import datetime, timezone
-from pathlib import Path
 from typing import Dict, Sequence
 
 import numpy as np
 
-from .. import telemetry
+from ..atomicio import (
+    CHECKSUM_KEY as _CHECKSUM_KEY,
+    STALE_TMP_TTL,
+    atomic_write_bytes,
+    atomic_write_npz,
+    file_sha256,
+    payload_checksum as _payload_checksum,
+    reap_stale_tmp,
+    wall_now,
+)
 from .calibration import affine_minmax_params, mse_optimal_scale
 from .quantizers import _qrange
 
+# The atomic-write machinery was born here and moved to repro.atomicio so
+# the checkpointer, spool, zoo cache, and Ĝ store share it; the names stay
+# re-exported for the original import paths (distrib, tests).
 __all__ = ["PackedTensor", "pack_tensor", "unpack_tensor", "export_assignment",
            "save_packed", "load_packed", "CorruptArtifactError",
            "atomic_write_bytes", "file_sha256", "reap_stale_tmp",
            "wall_now", "STALE_TMP_TTL"]
-
-#: npz key carrying the payload checksum (no layer may collide with it).
-_CHECKSUM_KEY = "__checksum__"
-
-#: Age (seconds) past which an orphaned ``*.tmp`` sibling is reaped.  A
-#: healthy atomic write holds its tmp file for milliseconds; anything this
-#: old belongs to a process that died between the write and the rename.
-STALE_TMP_TTL = 3600.0
-
-#: Orphaned tmp files removed by :func:`reap_stale_tmp`.
-_TMP_REAPED = telemetry.counter("export.stale_tmp_reaped")
-
-
-def wall_now() -> float:
-    """Wall-clock seconds since the epoch, comparable with file mtimes.
-
-    The telemetry lint forbids ``time.time()`` so span arithmetic stays on
-    the monotonic clock — but cross-process freshness checks (stale tmp
-    files, work-queue lease expiry) compare against ``os.stat`` mtimes,
-    which *are* wall-clock.  This is the one sanctioned wall-clock source.
-    """
-    return datetime.now(timezone.utc).timestamp()
-
-
-def reap_stale_tmp(directory, ttl: float = STALE_TMP_TTL) -> int:
-    """Remove ``*.tmp`` files in ``directory`` older than ``ttl`` seconds.
-
-    A writer killed between writing ``foo.tmp`` and ``os.replace`` leaks
-    the tmp file forever; callers of the atomic-write machinery invoke
-    this on save/load so spool and artifact directories self-clean.  Young
-    tmp files (a concurrent writer mid-save) are left alone.  Returns the
-    number of files reaped (counted in ``export.stale_tmp_reaped``).
-    """
-    root = Path(directory)
-    if not root.is_dir():
-        return 0
-    cutoff = wall_now() - ttl
-    reaped = 0
-    for tmp in root.glob("*.tmp"):
-        try:
-            if tmp.stat().st_mtime < cutoff:
-                tmp.unlink()
-                reaped += 1
-        except OSError:
-            continue  # raced with another reaper or the original writer
-    if reaped:
-        _TMP_REAPED.add(reaped)
-    return reaped
-
-
-def atomic_write_bytes(path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (sibling tmp + ``os.replace``).
-
-    Readers only ever observe the previous complete file or the new
-    complete file; stale tmp siblings left by killed writers are reaped
-    first (see :func:`reap_stale_tmp`).
-    """
-    final = os.fspath(path)
-    reap_stale_tmp(os.path.dirname(final) or ".")
-    tmp = final + ".tmp"
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(data)
-        os.replace(tmp, final)
-    finally:
-        if os.path.exists(tmp):
-            os.remove(tmp)
-
-
-def file_sha256(path) -> str:
-    """SHA-256 hex digest of a file's bytes."""
-    h = hashlib.sha256()
-    with open(path, "rb") as fh:
-        for chunk in iter(lambda: fh.read(1 << 20), b""):
-            h.update(chunk)
-    return h.hexdigest()
 
 
 class CorruptArtifactError(RuntimeError):
@@ -222,23 +154,6 @@ def export_assignment(
     }
 
 
-def _payload_checksum(payload: Dict[str, np.ndarray]) -> str:
-    """SHA-256 over every array's key, dtype, shape, and raw bytes.
-
-    Key-sorted so the digest is independent of insertion order; dtype and
-    shape are included so reinterpretations of the same bytes don't
-    collide.
-    """
-    h = hashlib.sha256()
-    for key in sorted(payload):
-        arr = np.ascontiguousarray(payload[key])
-        h.update(key.encode("utf-8"))
-        h.update(str(arr.dtype).encode("ascii"))
-        h.update(repr(arr.shape).encode("ascii"))
-        h.update(arr.tobytes())
-    return h.hexdigest()
-
-
 def save_packed(path, packed: Dict[str, PackedTensor]) -> None:
     """Serialize an exported assignment to an .npz file, atomically.
 
@@ -265,17 +180,7 @@ def save_packed(path, packed: Dict[str, PackedTensor]) -> None:
     final = os.fspath(path)
     if not final.endswith(".npz"):
         final += ".npz"
-    # A writer killed between open() and os.replace() leaves its tmp
-    # sibling behind forever; reap aged orphans before adding our own.
-    reap_stale_tmp(os.path.dirname(final) or ".")
-    tmp = final + ".tmp"
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **payload)
-        os.replace(tmp, final)
-    finally:
-        if os.path.exists(tmp):
-            os.remove(tmp)
+    atomic_write_npz(final, payload)
 
 
 def load_packed(path) -> Dict[str, PackedTensor]:

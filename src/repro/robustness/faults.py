@@ -29,15 +29,21 @@ JSON schema::
        {"kind": "shard_loss",            "at": 0, "times": 1},
        {"kind": "stale_lease",           "at": 1, "times": 1},
        {"kind": "duplicate_completion",  "at": 2, "times": 1},
-       {"kind": "torn_partial",          "at": 3, "times": 1}
+       {"kind": "torn_partial",          "at": 3, "times": 1},
+       {"kind": "truncated_artifact",    "at": 0, "times": 1},
+       {"kind": "checksum_flip",         "at": 1, "times": 1},
+       {"kind": "stale_writer_lock",     "at": 0, "times": 1},
+       {"kind": "fingerprint_mismatch",  "at": 2, "times": 1}
      ]}
 
 ``at`` is the plan-group index for process faults (``worker_crash``,
 ``nonfinite_loss``), the plan *spec* index for measurement faults
 (``outlier_loss``, ``asymmetric_pair``), the flush ordinal for
-checkpoint faults, and the shard id for distributed faults
+checkpoint faults, the shard id for distributed faults
 (``shard_loss``, ``stale_lease``, ``duplicate_completion``,
-``torn_partial``); ``times`` is how many *attempts* fail before the fault
+``torn_partial``), and the store publish ordinal for artifact-store
+faults (``truncated_artifact``, ``checksum_flip``, ``stale_writer_lock``,
+``fingerprint_mismatch``); ``times`` is how many *attempts* fail before the fault
 stops firing (so bounded retries — and, for measurement faults, bounded
 quarantine re-measure rounds; for shard faults, lease generations —
 deterministically recover); ``rung`` names the ladder rung whose deadline
@@ -81,6 +87,10 @@ FAULT_KINDS = (
     "stale_lease",
     "duplicate_completion",
     "torn_partial",
+    "truncated_artifact",
+    "checksum_flip",
+    "stale_writer_lock",
+    "fingerprint_mismatch",
 )
 
 #: Exit code an injected crash dies with — distinguishable from a real
@@ -258,6 +268,59 @@ class FaultPlan:
             1103515245 * (self.seed + 17 * shard + generation + 1) + 12345
         ) % (2**31)
         return 0.1 + 0.8 * (state / float(2**31))
+
+    # -- artifact-store faults -------------------------------------------------
+    def artifact_truncation(self, publish_ordinal: int) -> Optional[float]:
+        """Fraction of a just-published store entry to keep, or ``None``.
+
+        ``at`` is the store's publish ordinal (0 for the first publish of
+        a process, 1 for the next...).  The seeded keep-fraction mirrors
+        :meth:`checkpoint_truncation`: enough bytes survive that the
+        entry looks plausible but fails parse/checksum on the next read
+        and must be quarantined, never served.
+        """
+        if not self._fires("truncated_artifact", publish_ordinal, 0):
+            return None
+        state = (
+            1103515245 * (self.seed + 29 * publish_ordinal + 1) + 12345
+        ) % (2**31)
+        return 0.1 + 0.8 * (state / float(2**31))
+
+    def checksum_flip_offset(self, publish_ordinal: int) -> Optional[int]:
+        """Seeded byte offset to XOR in a just-published entry, or ``None``.
+
+        A single flipped bit/byte is the silent-media-corruption case: the
+        file still parses as far as the container format cares, so only
+        the embedded payload checksum can catch it.  The offset is a
+        seeded raw value; the store clamps it into the entry's payload
+        region so the flip always lands on verifiable bytes.
+        """
+        if not self._fires("checksum_flip", publish_ordinal, 0):
+            return None
+        state = (
+            1103515245 * (self.seed + 31 * publish_ordinal + 7) + 12345
+        ) % (2**31)
+        return int(state)
+
+    def stale_writer_lock_now(self, publish_ordinal: int) -> bool:
+        """Should an aged orphan writer lock block this publish?
+
+        The store plants a lock file whose mtime predates the lock TTL
+        before acquiring its own — exactly what a publisher killed while
+        holding the lock leaves behind — so the single-writer path must
+        exercise stale-lock takeover to make progress.
+        """
+        return self._fires("stale_writer_lock", publish_ordinal, 0)
+
+    def fingerprint_mismatch_now(self, publish_ordinal: int) -> bool:
+        """Should the published entry carry alien fingerprints?
+
+        The store re-publishes the entry with its manifest fingerprints
+        corrupted but its payload checksum *valid* — an artifact that is
+        internally consistent yet belongs to a different (weights, data,
+        config) world, the staleness case checksums alone cannot catch.
+        """
+        return self._fires("fingerprint_mismatch", publish_ordinal, 0)
 
     # -- solver faults ---------------------------------------------------------
     def solver_expired(self, rung: str) -> bool:

@@ -38,10 +38,17 @@ from .greedy import local_search, solve_greedy
 from .problem import InfeasibleBudgetError, MPQProblem, SolveResult
 from .qp_relax import solve_relaxation
 
-__all__ = ["LADDER_RUNGS", "relax_and_round", "solve_with_fallback"]
+__all__ = ["LADDER_RUNGS", "WARM_RUNG", "relax_and_round", "solve_with_fallback"]
 
 #: Ladder rungs in descent order.
 LADDER_RUNGS = ("bb", "qp_round", "greedy")
+
+#: Optional extra rung: repair + polish a caller-provided warm start (an
+#: adjacent budget's solution in a Pareto-grid sweep).  Attempted *after*
+#: greedy so its candidate loses objective ties to every cold rung —
+#: a cold solve stays bitwise identical whether or not a warm start was
+#: offered and merely lost.
+WARM_RUNG = "warm"
 
 #: Fraction of the total deadline granted to branch-and-bound; the rest is
 #: headroom for the (much cheaper) fallback rungs.
@@ -53,7 +60,8 @@ _NUMERICAL_FAILURES = (ValueError, FloatingPointError, np.linalg.LinAlgError)
 
 _FALLBACK_RUNS = telemetry.counter("solver.fallback_runs")
 _RUNG_WINS = {
-    rung: telemetry.counter(f"solver.rung_{rung}_wins") for rung in LADDER_RUNGS
+    rung: telemetry.counter(f"solver.rung_{rung}_wins")
+    for rung in LADDER_RUNGS + (WARM_RUNG,)
 }
 _RUNG_FAILURES = telemetry.counter("solver.rung_failures")
 _DEADLINE_EXPIRED = telemetry.counter("solver.deadline_expirations")
@@ -92,6 +100,36 @@ def relax_and_round(
     )
 
 
+def warm_start_solve(problem: MPQProblem, warm_choice) -> SolveResult:
+    """The ``warm`` rung: repair + polish an adjacent budget's assignment.
+
+    Pareto-grid queries solve the same sensitivities under adjacent
+    budgets; the previous budget's choice, demoted into this budget by
+    the branch-and-bound repair recipe and polished with local search, is
+    a strong incumbent for milliseconds of work.
+    """
+    t0 = perf_counter()
+    choice = np.asarray(warm_choice, dtype=np.int64)
+    if choice.shape != (problem.num_layers,):
+        raise ValueError(
+            f"warm start has {choice.shape} choices for "
+            f"{problem.num_layers} layers"
+        )
+    choice = np.clip(choice, 0, problem.num_choices - 1)
+    choice = _round_and_repair(problem, problem.choice_to_alpha(choice))
+    choice = local_search(problem, choice)
+    return SolveResult(
+        choice=choice,
+        objective=problem.objective(choice),
+        size_bits=problem.assignment_size_bits(choice),
+        optimal=False,
+        method=WARM_RUNG,
+        iterations=1,
+        wall_time=perf_counter() - t0,
+        message="warm-started from adjacent budget",
+    )
+
+
 def solve_with_fallback(
     problem: MPQProblem,
     deadline: Optional[float] = None,
@@ -101,6 +139,7 @@ def solve_with_fallback(
     gap_tol: float = 1e-9,
     assume_psd: Optional[bool] = None,
     fault_plan: Optional[FaultPlan] = None,
+    warm_choice=None,
 ) -> SolveResult:
     """Solve the IQP down the degradation ladder within ``deadline`` seconds.
 
@@ -239,6 +278,12 @@ def solve_with_fallback(
         # Rung 3: greedy floor (always attempted — milliseconds, no
         # relaxation, and the "best incumbent" comparison is free).
         attempt("greedy", lambda: solve_greedy(problem))
+
+        # Optional rung 4: a caller-provided warm start (adjacent budget's
+        # assignment in a Pareto grid).  Attempted last so it loses ties
+        # to every cold rung and cold solves stay bitwise reproducible.
+        if warm_choice is not None:
+            attempt(WARM_RUNG, lambda: warm_start_solve(problem, warm_choice))
 
     if not candidates:
         raise DeadlineExpired(

@@ -1,0 +1,150 @@
+"""Content addressing for Ĝ artifacts.
+
+A stored sensitivity measurement is only safe to serve when it was
+measured on *exactly* this world: the same model weights, the same
+sensitivity set, and the same quantizer configuration.  Each of those is
+fingerprinted independently (so a mismatch can be attributed), and the
+three digests combine into one :class:`StoreKey` whose hex ``key`` names
+the entry on disk.
+
+What goes into each fingerprint:
+
+- **weights** — layer names, dtypes, shapes, and raw bytes of every
+  quantizable layer's *original* (pre-quantization) weights, in layer
+  order.  These are the tensors the sweep perturbs; weights outside the
+  searched set cannot change Ĝ given fixed data.
+- **data** — dtype, shape, and raw bytes of the sensitivity set
+  ``(x, y)``.
+- **quant** — the quantizer config (candidate bits, scheme, activation
+  bits) plus every measurement knob that changes Ĝ's *numerics*:
+  measurement mode, ``symmetric_diag``, ``batch_size``, and
+  ``eval_batch_k`` (stacked replays are allclose but not bitwise equal
+  to sequential ones, so they address different entries).  Execution
+  knobs proven bitwise-invariant — worker count, sharding, segmented vs
+  naive strategy — are deliberately *excluded*, so a sweep sharded
+  across 8 boxes and a single-process sweep share one entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+__all__ = [
+    "StoreKey",
+    "data_fingerprint",
+    "quantizer_fingerprint",
+    "request_key",
+    "weights_fingerprint",
+]
+
+
+def _hash_arrays(h, named_arrays: Iterable[Tuple[str, np.ndarray]]) -> None:
+    for name, arr in named_arrays:
+        arr = np.ascontiguousarray(arr)
+        h.update(name.encode("utf-8"))
+        h.update(str(arr.dtype).encode("ascii"))
+        h.update(repr(arr.shape).encode("ascii"))
+        h.update(arr.tobytes())
+
+
+def weights_fingerprint(layers, originals) -> str:
+    """SHA-256 over the searched layers' original weight tensors."""
+    h = hashlib.sha256()
+    _hash_arrays(
+        h, ((layer.name, w) for layer, w in zip(layers, originals))
+    )
+    return h.hexdigest()
+
+
+def data_fingerprint(x: np.ndarray, y: np.ndarray) -> str:
+    """SHA-256 over the sensitivity set's bytes, dtypes, and shapes."""
+    h = hashlib.sha256()
+    _hash_arrays(h, (("x", np.asarray(x)), ("y", np.asarray(y))))
+    return h.hexdigest()
+
+
+def quantizer_fingerprint(
+    config,
+    mode: str,
+    *,
+    symmetric_diag: bool = False,
+    batch_size: int = 256,
+    eval_batch_k: int = 0,
+) -> str:
+    """SHA-256 over the quantizer config + numerics-affecting sweep knobs."""
+    doc = {
+        "bits": [int(b) for b in config.bits],
+        "scheme": str(config.scheme),
+        "act_bits": int(config.act_bits),
+        "mode": str(mode),
+        "symmetric_diag": bool(symmetric_diag),
+        "batch_size": int(batch_size),
+        "eval_batch_k": int(eval_batch_k),
+    }
+    return hashlib.sha256(
+        json.dumps(doc, sort_keys=True).encode()
+    ).hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """The content address: weights × sensitivity set × quantizer config."""
+
+    weights: str
+    data: str
+    quant: str
+
+    @property
+    def key(self) -> str:
+        """The combined digest an entry is filed under."""
+        h = hashlib.sha256()
+        h.update(self.weights.encode("ascii"))
+        h.update(self.data.encode("ascii"))
+        h.update(self.quant.encode("ascii"))
+        return h.hexdigest()
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"weights": self.weights, "data": self.data, "quant": self.quant}
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, str]) -> "StoreKey":
+        return cls(
+            weights=str(doc.get("weights", "")),
+            data=str(doc.get("data", "")),
+            quant=str(doc.get("quant", "")),
+        )
+
+    def mismatches(self, other: "StoreKey") -> Tuple[str, ...]:
+        """Names of the fingerprint components that differ from ``other``."""
+        return tuple(
+            name
+            for name in ("weights", "data", "quant")
+            if getattr(self, name) != getattr(other, name)
+        )
+
+
+def request_key(algo, x: np.ndarray, y: np.ndarray, config) -> StoreKey:
+    """The :class:`StoreKey` an allocation request addresses.
+
+    ``algo`` is a prepared-or-not CLADO-family algorithm (its weight
+    table holds the original tensors the sweep perturbs); ``config`` is
+    the effective :class:`~repro.core.api.SensitivityConfig` the fresh
+    sweep would run with, so a cached entry and the sweep that would
+    replace it always agree on the numerics knobs.
+    """
+    return StoreKey(
+        weights=weights_fingerprint(algo.layers, algo.table.original),
+        data=data_fingerprint(x, y),
+        quant=quantizer_fingerprint(
+            algo.config,
+            algo.mode,
+            symmetric_diag=config.symmetric_diag,
+            batch_size=config.batch_size,
+            eval_batch_k=config.eval_batch_k,
+        ),
+    )

@@ -27,6 +27,7 @@ from repro.distrib import (
     claim_next,
     heartbeat,
     lease_age,
+    lease_expired,
     measure_sharded,
     merge_checkpoints,
     partition_groups,
@@ -135,6 +136,46 @@ class TestLeasePrimitives:
         ticket = spool.ticket_path(4, 0)
         assert Spool.parse_stem(ticket.name) == (4, 0)
 
+    def test_lease_expiry_boundary(self):
+        # The reaper's one rule: strictly older than the TTL.  A lease at
+        # *exactly* lease_ttl elapsed is still live — a worker that
+        # heartbeats on the TTL cadence presents age == ttl to a reaper
+        # sharing its clock, and revoke-at->= would race that punctual
+        # heartbeat into a double claim of the re-queued ticket.
+        assert lease_expired(None, 30.0) is False  # vanished: revoked or done
+        assert lease_expired(0.0, 30.0) is False
+        assert lease_expired(29.999, 30.0) is False
+        assert lease_expired(30.0, 30.0) is False  # exactly TTL: live
+        assert lease_expired(30.0 + 1e-9, 30.0) is True
+        assert lease_expired(1000.0, 30.0) is True
+
+    def test_reap_then_heartbeat_cannot_double_claim(self, spool):
+        import os
+
+        from repro.distrib.spool import wall_now
+
+        spool.issue_ticket(0, 0)
+        shard, generation, lease = claim_next(spool, "wA")
+        # Coordinator side: the lease ages past the TTL, the reaper
+        # confirms expiry with the shared rule, revokes, and re-issues.
+        old = wall_now() - 100.0
+        os.utime(lease, (old, old))
+        assert lease_expired(lease_age(lease), 30.0) is True
+        assert revoke(lease) is True
+        spool.issue_ticket(shard, generation + 1)
+        # Worker side: wA's heartbeat races in just after the reap.  It
+        # must report revocation and must NOT resurrect the lease file —
+        # a resurrected lease plus the re-issued ticket would let the
+        # same shard be claimed twice.
+        assert heartbeat(lease) is False
+        assert not lease.exists()
+        # Exactly one successor claims the re-issued ticket.
+        second = claim_next(spool, "wB")
+        assert second is not None
+        assert (second[0], second[1]) == (shard, generation + 1)
+        assert claim_next(spool, "wA") is None  # nothing left to claim
+        assert len(list(spool.leases.glob("*.lease"))) == 1
+
 
 # ---------------------------------------------------------------------------
 # Idempotent merge (plan-index keyed)
@@ -172,6 +213,43 @@ class TestMergeLossMaps:
     def test_merge_order_does_not_matter(self):
         parts = [("a", {0: 1.0, 2: 3.0}), ("b", {1: 2.0}), ("c", {2: 3.0})]
         assert merge_loss_maps(parts) == merge_loss_maps(parts[::-1])
+
+    def test_three_sources_conflict_attributes_the_conflicting_pair(self):
+        # Three sources, two of which conflict on index 5.  The error must
+        # attribute the *owning* source (the first to merge the index) and
+        # the conflicting one — not whichever source merged last, and not
+        # the innocent bystander that only agreed.
+        with pytest.raises(CheckpointMergeConflict) as info:
+            merge_loss_maps(
+                [
+                    ("shard-0.wA", {5: 2.0, 6: 1.0}),
+                    ("shard-1.wB", {5: 2.0, 7: 3.0}),  # agrees: idempotent dup
+                    ("shard-0.wC", {5: 2.5}),  # disagrees: torn re-run
+                ]
+            )
+        err = info.value
+        assert err.index == 5
+        assert err.sources == ("shard-0.wA", "shard-0.wC")
+        assert err.values == (2.0, 2.5)
+        # The agreeing bystander is not blamed.
+        assert "shard-1.wB" not in str(err)
+        assert "shard-0.wA" in str(err) and "shard-0.wC" in str(err)
+
+    def test_three_sources_conflict_on_later_owner(self):
+        # The owner of the conflicting index need not come from the first
+        # source overall — attribution follows the per-index owner map.
+        with pytest.raises(CheckpointMergeConflict) as info:
+            merge_loss_maps(
+                [
+                    ("p0", {0: 1.0}),
+                    ("p1", {9: 4.0}),
+                    ("p2", {9: 4.5, 0: 1.0}),
+                ]
+            )
+        err = info.value
+        assert err.index == 9
+        assert err.sources == ("p1", "p2")
+        assert err.values == (4.0, 4.5)
 
 
 # ---------------------------------------------------------------------------
